@@ -1,0 +1,61 @@
+"""Ablation: the Algorithm-1 partition threshold.
+
+Sweeps the minimum-element-count threshold that decides whether a weight tensor
+is lossy-compressed and reports the end-to-end compression ratio and the number
+of tensors routed to each partition.  The design point the paper uses (a small
+threshold around 1 KiB of elements) captures nearly all the ratio; raising the
+threshold towards "never lossy" degrades to the lossless-only baseline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from bench_utils import save_results, trained_like_state
+from repro.core import FedSZCompressor, FedSZConfig, partition_state_dict
+from repro.metrics import ExperimentRecord, Table
+
+THRESHOLDS = (0, 256, 1024, 4096, 65536, 10**9)
+
+
+def bench_ablation_threshold(benchmark):
+    state = trained_like_state("resnet50", seed=2)
+
+    def run():
+        rows = []
+        for threshold in THRESHOLDS:
+            config = FedSZConfig(error_bound=1e-2, threshold=threshold)
+            partition = partition_state_dict(state, config)
+            fedsz = FedSZCompressor(config)
+            payload = fedsz.compress_state_dict(state)
+            rows.append({
+                "threshold": threshold,
+                "lossy_tensors": len(partition.lossy),
+                "lossless_tensors": len(partition.lossless),
+                "lossy_fraction": partition.lossy_fraction,
+                "ratio": fedsz.last_report.ratio,
+                "compressed_bytes": len(payload),
+            })
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    table = Table("Ablation - partition threshold sweep (ResNet50, SZ2 @1e-2)",
+                  ["threshold (elements)", "# lossy tensors", "# lossless tensors",
+                   "lossy byte fraction", "update ratio"])
+    record = ExperimentRecord("ablation_threshold", "partition threshold sweep")
+    for row in rows:
+        table.add_row(row["threshold"], row["lossy_tensors"], row["lossless_tensors"],
+                      f"{row['lossy_fraction']:.2%}", f"{row['ratio']:.2f}x")
+        record.add(**row)
+    save_results("ablation_threshold", table, record)
+
+    by_threshold = {r["threshold"]: r for r in rows}
+    # A huge threshold disables lossy compression entirely and loses most of the ratio.
+    assert by_threshold[10**9]["lossy_tensors"] == 0
+    assert by_threshold[1024]["ratio"] > by_threshold[10**9]["ratio"] * 1.5
+    # The default threshold keeps nearly all of the threshold-0 ratio.
+    assert by_threshold[1024]["ratio"] > 0.9 * by_threshold[0]["ratio"]
+    # More permissive thresholds route monotonically more tensors to the lossy side.
+    lossy_counts = [by_threshold[t]["lossy_tensors"] for t in THRESHOLDS]
+    assert lossy_counts == sorted(lossy_counts, reverse=True)

@@ -1,0 +1,61 @@
+"""Figure 4: accuracy convergence per communication round for each EBLC.
+
+Runs FedAvg with the update codec set to uncompressed, FedSZ-SZ2, FedSZ-SZ3,
+and FedSZ-ZFP (the same set the paper plots) and reports the per-round
+validation accuracy series.  At quick scale a small CNN and a reduced synthetic
+CIFAR-10 are used; ``REPRO_BENCH_SCALE=full`` switches to AlexNet-scale runs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from bench_utils import fl_settings, quick_fl_data, save_results
+from repro.core import FedSZConfig
+from repro.fl import FederatedSimulation, FedSZUpdateCodec, RawUpdateCodec
+from repro.metrics import ExperimentRecord, Table
+from repro.nn import build_model
+
+CODECS = {
+    "Uncompressed": lambda: RawUpdateCodec(),
+    "FedSZ-SZ2": lambda: FedSZUpdateCodec(FedSZConfig(lossy_compressor="sz2", error_bound=1e-2)),
+    "FedSZ-SZ3": lambda: FedSZUpdateCodec(FedSZConfig(lossy_compressor="sz3", error_bound=1e-2)),
+    "FedSZ-ZFP": lambda: FedSZUpdateCodec(FedSZConfig(lossy_compressor="zfp", error_bound=1e-2)),
+    "FedSZ-SZx": lambda: FedSZUpdateCodec(FedSZConfig(lossy_compressor="szx", error_bound=1e-2)),
+}
+
+
+def bench_fig4_convergence(benchmark):
+    cfg = fl_settings()
+    train, test = quick_fl_data("cifar10", seed=4)
+
+    def factory():
+        return build_model(cfg["model"], num_classes=10, in_channels=3,
+                           image_size=cfg["image_size"], seed=0)
+
+    def run():
+        series = {}
+        for label, make_codec in CODECS.items():
+            sim = FederatedSimulation(factory, train, test, n_clients=cfg["n_clients"],
+                                      codec=make_codec(), lr=cfg["lr"],
+                                      batch_size=cfg["batch_size"], seed=5)
+            result = sim.run(cfg["rounds"])
+            series[label] = result.accuracies
+        return series
+
+    series = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    table = Table("Figure 4 - accuracy convergence per round (CIFAR-10)",
+                  ["codec"] + [f"round {i}" for i in range(cfg["rounds"])])
+    record = ExperimentRecord("fig4", "accuracy convergence comparison across EBLCs")
+    for label, accs in series.items():
+        table.add_row(label, *[f"{a:.2%}" for a in accs])
+        record.add(codec=label, accuracies=accs)
+    save_results("fig4_convergence", table, record)
+
+    # Paper finding: the EBLC curves track the uncompressed curve closely.
+    final_raw = series["Uncompressed"][-1]
+    for label in ("FedSZ-SZ2", "FedSZ-SZ3", "FedSZ-ZFP"):
+        assert abs(series[label][-1] - final_raw) < 0.2, f"{label} diverged from uncompressed"
+    # All runs must actually learn something.
+    assert final_raw > series["Uncompressed"][0]

@@ -1,0 +1,73 @@
+"""Figure 5: inference accuracy across models/datasets while varying the REL bound.
+
+Runs federated training with FedSZ at relative error bounds from 1e-5 to 1e-1
+(plus an uncompressed reference) and reports the final validation accuracy for
+each bound.  The reproduced claim is the shape of the curve: flat (within noise
+of the uncompressed run) for bounds <= 1e-2 and collapsing at 1e-1 and above.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from bench_utils import fl_settings, is_quick, quick_fl_data, save_results
+from repro.core import FedSZConfig
+from repro.fl import FederatedSimulation, FedSZUpdateCodec, RawUpdateCodec
+from repro.metrics import ExperimentRecord, Table, format_bound
+from repro.nn import build_model
+
+BOUNDS = (1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 5e-1)
+
+
+def bench_fig5_accuracy_vs_bound(benchmark):
+    cfg = fl_settings()
+    datasets = ("cifar10",) if is_quick() else ("cifar10", "fmnist", "caltech101")
+
+    def run():
+        rows = []
+        for dataset in datasets:
+            train, test = quick_fl_data(dataset, seed=21)
+            in_channels = 1 if dataset == "fmnist" else 3
+            num_classes = 101 if dataset == "caltech101" else 10
+
+            def factory():
+                return build_model(cfg["model"], num_classes=num_classes,
+                                   in_channels=in_channels, image_size=cfg["image_size"], seed=0)
+
+            baseline = FederatedSimulation(factory, train, test, n_clients=cfg["n_clients"],
+                                           codec=RawUpdateCodec(), lr=cfg["lr"],
+                                           batch_size=cfg["batch_size"], seed=22).run(cfg["rounds"])
+            rows.append({"dataset": dataset, "bound": None,
+                         "accuracy": baseline.final_accuracy, "ratio": 1.0})
+            for bound in BOUNDS:
+                codec = FedSZUpdateCodec(FedSZConfig(error_bound=bound))
+                result = FederatedSimulation(factory, train, test, n_clients=cfg["n_clients"],
+                                             codec=codec, lr=cfg["lr"],
+                                             batch_size=cfg["batch_size"], seed=22).run(cfg["rounds"])
+                rows.append({"dataset": dataset, "bound": bound,
+                             "accuracy": result.final_accuracy,
+                             "ratio": result.mean_compression_ratio})
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    table = Table("Figure 5 - final accuracy vs relative error bound",
+                  ["dataset", "REL bound", "final accuracy", "mean compression ratio"])
+    record = ExperimentRecord("fig5", "accuracy vs error bound sweep")
+    for row in rows:
+        bound_text = "uncompressed" if row["bound"] is None else format_bound(row["bound"])
+        table.add_row(row["dataset"], bound_text, f"{row['accuracy']:.2%}", f"{row['ratio']:.2f}x")
+        record.add(**row)
+    save_results("fig5_accuracy_vs_bound", table, record)
+
+    for dataset in datasets:
+        subset = {r["bound"]: r["accuracy"] for r in rows if r["dataset"] == dataset}
+        baseline = subset[None]
+        # bounds <= 1e-2 stay close to the uncompressed accuracy...
+        for bound in (1e-5, 1e-4, 1e-3, 1e-2):
+            assert subset[bound] >= baseline - 0.20
+        # ...and the largest bound collapses the model
+        assert subset[5e-1] <= max(subset[1e-3], subset[1e-2]) + 0.05
+        # ratio grows monotonically-ish with the bound
+        ratios = [r["ratio"] for r in rows if r["dataset"] == dataset and r["bound"] is not None]
+        assert ratios[-1] > ratios[0]

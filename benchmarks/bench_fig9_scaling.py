@@ -1,0 +1,100 @@
+"""Figure 9: weak and strong scaling of FedSZ vs uncompressed at 10 Mbps.
+
+Measures per-client costs (local training time, FedSZ encode/decode time,
+update sizes) once on a real client, then evaluates the scaling models from
+``repro.fl.scaling`` across 2-128 cores — the same quantities Figure 9 plots.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from bench_utils import fl_settings, is_quick, quick_fl_data, save_results
+from repro.core import FedSZConfig
+from repro.fl import (
+    FLClient,
+    FedSZUpdateCodec,
+    RawUpdateCodec,
+    scaling_speedups,
+    simulate_strong_scaling,
+    simulate_weak_scaling,
+)
+from repro.metrics import ExperimentRecord, Table
+from repro.nn import build_model
+
+CORES = [2, 4, 8, 16, 32, 64, 128]
+BANDWIDTH_MBPS = 10.0
+STRONG_CLIENTS = 127
+
+
+def bench_fig9_scaling(benchmark):
+    cfg = fl_settings()
+    train, _ = quick_fl_data("cifar10", seed=41)
+    model_name = "mobilenetv2" if not is_quick() else cfg["model"]
+
+    def run():
+        model = build_model(model_name, num_classes=10, in_channels=3,
+                            image_size=cfg["image_size"], seed=0)
+        client = FLClient(0, model, train, batch_size=cfg["batch_size"], lr=cfg["lr"])
+        update = client.train_local(epochs=1)
+
+        import time
+        raw_codec = RawUpdateCodec()
+        fedsz_codec = FedSZUpdateCodec(FedSZConfig(error_bound=1e-2))
+        start = time.perf_counter()
+        fedsz_payload = fedsz_codec.encode(update.state)
+        encode_s = time.perf_counter() - start
+        start = time.perf_counter()
+        fedsz_codec.decode(fedsz_payload)
+        decode_s = time.perf_counter() - start
+        raw_bytes = len(raw_codec.encode(update.state))
+
+        profiles = {
+            "FedSZ": dict(train_seconds=update.train_seconds, encode_seconds=encode_s,
+                          decode_seconds=decode_s, update_bytes=len(fedsz_payload)),
+            "Uncompressed": dict(train_seconds=update.train_seconds, encode_seconds=0.0,
+                                 decode_seconds=0.0, update_bytes=raw_bytes),
+        }
+        sweeps = {}
+        for label, profile in profiles.items():
+            sweeps[label] = {
+                "weak": simulate_weak_scaling(CORES, bandwidth_mbps=BANDWIDTH_MBPS, **profile),
+                "strong": simulate_strong_scaling(CORES, n_clients=STRONG_CLIENTS,
+                                                  bandwidth_mbps=BANDWIDTH_MBPS, **profile),
+            }
+        return profiles, sweeps
+
+    profiles, sweeps = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    tables = []
+    record = ExperimentRecord("fig9", "weak/strong scaling at 10 Mbps, FedSZ vs uncompressed")
+    for mode in ("weak", "strong"):
+        table = Table(f"Figure 9 - {mode} scaling epoch time per client (s), 10 Mbps",
+                      ["cores"] + list(sweeps))
+        for idx, cores in enumerate(CORES):
+            cells = [f"{sweeps[label][mode][idx].epoch_seconds:.1f}" for label in sweeps]
+            table.add_row(cores, *cells)
+            record.add(mode=mode, cores=cores,
+                       **{label: sweeps[label][mode][idx].epoch_seconds for label in sweeps})
+        tables.append(table)
+
+    speedup_table = Table("Figure 9 - strong-scaling speedup (vs 2 cores)",
+                          ["codec", "speedup @128 cores"])
+    for label in sweeps:
+        speedup = scaling_speedups(sweeps[label]["strong"])[-1]
+        speedup_table.add_row(label, f"{speedup:.2f}x")
+        record.add(mode="strong-speedup", codec=label, speedup=speedup)
+    tables.append(speedup_table)
+    save_results("fig9_scaling", tables, record)
+
+    # Weak scaling: epoch time grows with client count, and FedSZ stays below
+    # the uncompressed curve everywhere (Figure 9a).
+    for idx in range(len(CORES)):
+        assert sweeps["FedSZ"]["weak"][idx].epoch_seconds \
+            <= sweeps["Uncompressed"]["weak"][idx].epoch_seconds
+    weak_times = [r.epoch_seconds for r in sweeps["FedSZ"]["weak"]]
+    assert weak_times == sorted(weak_times)
+    # Strong scaling: more cores reduce the per-client epoch time (Figure 9b).
+    strong_times = [r.epoch_seconds for r in sweeps["FedSZ"]["strong"]]
+    assert strong_times == sorted(strong_times, reverse=True)
+    assert scaling_speedups(sweeps["FedSZ"]["strong"])[-1] > 1.5

@@ -1,0 +1,80 @@
+"""Table II: lossless compressor comparison for AlexNet metadata.
+
+Compresses the lossless partition of an AlexNet state dict (biases, small
+weights — the paper's "metadata and non-weight parameters") with every
+registered lossless codec and reports runtime, throughput, and ratio.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from bench_utils import save_results, trained_like_state
+from repro.compressors.lossless import available_lossless, get_lossless
+from repro.core import FedSZConfig, partition_state_dict
+from repro.metrics import ExperimentRecord, Table
+from repro.utils.serialization import pack_arrays
+
+CODECS = ("blosclz", "gzip", "xz", "zlib", "zstd", "bzip2", "shuffle-rle")
+
+
+def bench_table2_lossless(benchmark):
+    # AlexNet has almost no non-weight state at the reproduction's scale, so the
+    # metadata workload concatenates the lossless partitions of all three
+    # models (biases + BatchNorm statistics), matching the paper's "metadata
+    # and non-weight parameters" payload character.
+    metadata: dict = {}
+    for model_name in ("alexnet", "resnet50", "mobilenetv2"):
+        state = trained_like_state(model_name)
+        partition = partition_state_dict(state, FedSZConfig(threshold=1024))
+        for key, value in partition.lossless.items():
+            metadata[f"{model_name}.{key}"] = value
+    metadata_blob = pack_arrays(metadata)
+
+    def run():
+        rows = []
+        for name in CODECS:
+            codec = get_lossless(name)
+            start = time.perf_counter()
+            payload = codec.compress(metadata_blob)
+            compress_s = time.perf_counter() - start
+            start = time.perf_counter()
+            restored = codec.decompress(payload)
+            decompress_s = time.perf_counter() - start
+            assert restored == metadata_blob, f"{name} is not lossless"
+            rows.append({
+                "codec": name,
+                "runtime_s": compress_s,
+                "decompress_s": decompress_s,
+                "throughput_mbps": len(metadata_blob) / 1e6 / max(compress_s, 1e-9),
+                "ratio": len(metadata_blob) / len(payload),
+            })
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    table = Table("Table II - lossless codec comparison on AlexNet metadata "
+                  f"({len(metadata_blob)} bytes)",
+                  ["codec", "runtime", "throughput MB/s", "ratio"])
+    record = ExperimentRecord("table2", "lossless codec comparison on metadata")
+    for row in sorted(rows, key=lambda r: r["runtime_s"]):
+        table.add_row(row["codec"], f"{row['runtime_s']*1e3:.2f}ms",
+                      f"{row['throughput_mbps']:.1f}", f"{row['ratio']:.3f}x")
+        record.add(**row)
+    save_results("table2_lossless", table, record)
+
+    by_name = {r["codec"]: r for r in rows}
+    # Paper findings: blosc-lz is much faster than gzip/xz with a competitive
+    # ratio (metadata is low-compressibility float data), and xz trades the
+    # worst runtime for a best-in-class ratio.
+    assert by_name["blosclz"]["runtime_s"] < by_name["gzip"]["runtime_s"]
+    assert by_name["blosclz"]["runtime_s"] < by_name["xz"]["runtime_s"]
+    assert by_name["xz"]["runtime_s"] > by_name["zstd"]["runtime_s"]
+    assert by_name["blosclz"]["ratio"] >= by_name["zstd"]["ratio"] * 0.8
+    # every paper codec achieves some reduction on the float metadata; the
+    # from-scratch run-length codec is listed for illustration only (it expands
+    # incompressible float noise, which the table makes visible)
+    for name in ("blosclz", "gzip", "xz", "zlib", "zstd", "bzip2"):
+        assert by_name[name]["ratio"] > 1.0

@@ -1,0 +1,61 @@
+"""Table III: model characteristics (parameters, size, % lossy data, FLOPs).
+
+Profiles the three (scaled) paper models and reports the same columns as
+Table III.  The assertions check the orderings the paper relies on: AlexNet is
+the largest model with the highest lossy-compressible share, MobileNetV2 the
+smallest with the lowest share.
+"""
+
+from __future__ import annotations
+
+from bench_utils import PAPER_MODELS, save_results
+from repro.core import FedSZConfig, lossy_fraction
+from repro.metrics import ExperimentRecord, Table
+from repro.nn import build_model, count_parameters, estimate_flops, state_dict_nbytes
+from repro.utils.timer import format_bytes
+
+#: Paper-reported values for side-by-side comparison in the rendered table.
+PAPER_VALUES = {
+    "mobilenetv2": {"parameters": 3.5e6, "size": "14MB", "lossy": 96.94, "flops": 0.35e9},
+    "resnet50": {"parameters": 4.5e7, "size": "180MB", "lossy": 99.47, "flops": 8e9},
+    "alexnet": {"parameters": 6.0e7, "size": "230MB", "lossy": 99.98, "flops": 0.75e9},
+}
+
+
+def bench_table3_models(benchmark):
+    config = FedSZConfig(threshold=1024)
+
+    def run():
+        rows = []
+        for name in PAPER_MODELS:
+            model = build_model(name, num_classes=10, in_channels=3, image_size=32)
+            state = model.state_dict()
+            rows.append({
+                "model": name,
+                "parameters": count_parameters(model),
+                "state_bytes": state_dict_nbytes(model),
+                "lossy_fraction": lossy_fraction(state, config),
+                "flops": estimate_flops(model, (3, 32, 32)),
+            })
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    table = Table("Table III - model characteristics (scaled reproductions)",
+                  ["model", "parameters", "state size", "% lossy data", "FLOPs",
+                   "paper params", "paper % lossy"])
+    record = ExperimentRecord("table3", "model profiles: params, size, lossy share, FLOPs")
+    for row in rows:
+        paper = PAPER_VALUES[row["model"]]
+        table.add_row(row["model"], f"{row['parameters']:,}", format_bytes(row["state_bytes"]),
+                      f"{row['lossy_fraction']:.2%}", f"{row['flops']/1e6:.1f}M",
+                      f"{paper['parameters']:.1e}", f"{paper['lossy']:.2f}%")
+        record.add(**row)
+    save_results("table3_models", table, record)
+
+    by_model = {r["model"]: r for r in rows}
+    assert by_model["alexnet"]["parameters"] > by_model["resnet50"]["parameters"] \
+        > by_model["mobilenetv2"]["parameters"]
+    assert by_model["alexnet"]["lossy_fraction"] > by_model["resnet50"]["lossy_fraction"] \
+        > by_model["mobilenetv2"]["lossy_fraction"]
+    assert by_model["alexnet"]["lossy_fraction"] > 0.95

@@ -1,0 +1,15 @@
+"""Pytest configuration for the benchmark suite.
+
+Adds the benchmarks directory to ``sys.path`` so the ``bench_utils`` helper
+module can be imported by every benchmark file regardless of the invocation
+directory.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+_BENCH_DIR = str(Path(__file__).resolve().parent)
+if _BENCH_DIR not in sys.path:
+    sys.path.insert(0, _BENCH_DIR)

@@ -1,0 +1,81 @@
+"""Deciding whether (and how) to compress on a bandwidth-constrained edge device.
+
+The paper's motivating scenario is an edge client (autonomous vehicle,
+Raspberry-Pi-class gateway) that must upload a model update over a slow,
+variable wide-area link.  This example walks through the decision procedure the
+paper formalizes:
+
+1. profile the candidate error-bounded compressors on the actual update
+   (Problem 1, Eqn. 2),
+2. evaluate Eqn. (1) over a range of bandwidths to find where compression stops
+   paying off (Figure 8's crossover),
+3. print a recommendation per bandwidth.
+
+Run with::
+
+    python examples/edge_bandwidth_planning.py [--model resnet50]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro.core import (
+    DeviceProfile,
+    communication_time,
+    compression_is_worthwhile,
+    crossover_bandwidth,
+    select_compressor,
+)
+from repro.nn import build_model
+from repro.utils.timer import format_bytes, format_seconds
+
+BANDWIDTHS = (1, 10, 50, 100, 500, 1000, 10_000)
+
+
+def parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--model", default="resnet50", help="model whose update is being shipped")
+    parser.add_argument("--bound", type=float, default=1e-2, help="relative error bound")
+    return parser.parse_args()
+
+
+def main() -> None:
+    args = parse_args()
+    model = build_model(args.model, num_classes=10, in_channels=3, image_size=32)
+    state = model.state_dict()
+    weights = np.concatenate([v.ravel() for k, v in state.items()
+                              if "weight" in k and v.size > 1024])
+    pi5 = DeviceProfile()
+
+    print(f"update: {args.model}, {format_bytes(weights.nbytes)} of lossy-compressible weights\n")
+
+    print("step 1 - profile the candidate compressors (Problem 1):")
+    best, grid = select_compressor(weights, candidates=("sz2", "sz3", "szx", "zfp"),
+                                   error_bounds=(args.bound,), bandwidth_mbps=10.0)
+    for entry in grid:
+        print(f"  {entry.compressor:4s}  ratio {entry.ratio:6.2f}x  "
+              f"compress {format_seconds(entry.compress_seconds)}  "
+              f"decompress {format_seconds(entry.decompress_seconds)}  "
+              f"feasible={entry.feasible}")
+    print(f"  -> selected: {best.compressor} (ratio {best.ratio:.2f}x)\n")
+
+    compressed_bytes = weights.nbytes / best.ratio
+    overhead = pi5.scale(best.compress_seconds + best.decompress_seconds)
+    crossover = crossover_bandwidth(overhead, 0.0, weights.nbytes, compressed_bytes)
+    print(f"step 2 - Eqn. (1) crossover with Pi-5-scaled overhead: {crossover:,.0f} Mbps\n")
+
+    print("step 3 - recommendation per uplink bandwidth:")
+    for bandwidth in BANDWIDTHS:
+        plain = communication_time(weights.nbytes, bandwidth)
+        with_fedsz = overhead + communication_time(compressed_bytes, bandwidth)
+        decision = "compress with FedSZ" if compression_is_worthwhile(
+            overhead, 0.0, weights.nbytes, compressed_bytes, bandwidth) else "send uncompressed"
+        print(f"  {bandwidth:>6,} Mbps: raw {format_seconds(plain):>9}  "
+              f"FedSZ {format_seconds(with_fedsz):>9}  ->  {decision}")
+
+
+if __name__ == "__main__":
+    main()

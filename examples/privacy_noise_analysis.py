@@ -1,0 +1,81 @@
+"""Analyzing the compression error as a potential source of privacy noise.
+
+Section VII-D of the paper observes that the error FedSZ's lossy stage
+introduces resembles Laplacian noise — the distribution used by the classic
+Laplace mechanism for differential privacy.  This example:
+
+1. compresses a model's weights with SZ2 at several relative error bounds,
+2. fits Laplace and Gaussian models to the reconstruction error and reports
+   which fits better (Kolmogorov-Smirnov statistic) and how peaked the error
+   histogram is,
+3. computes the *hypothetical* epsilon the Laplace mechanism would associate
+   with additive noise of the observed scale — with the same caveat the paper
+   gives: compression error is not independent noise, so this is an
+   equivalence in scale only, not a formal DP guarantee.
+
+Run with::
+
+    python examples/privacy_noise_analysis.py [--model resnet50]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro.compressors import SZ2Compressor
+from repro.nn import build_model
+from repro.privacy import (
+    analyze_error_distribution,
+    compression_errors,
+    epsilon_for_laplace_noise,
+)
+
+BOUNDS = (0.5, 0.1, 0.05, 0.01)
+
+
+def parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--model", default="alexnet")
+    return parser.parse_args()
+
+
+def main() -> None:
+    args = parse_args()
+    model = build_model(args.model, num_classes=10, in_channels=3, image_size=32)
+    state = model.state_dict()
+    weights = np.concatenate([v.ravel() for k, v in state.items()
+                              if "weight" in k and v.size > 1024])
+    # Freshly initialized weights are uniformly distributed; trained weights
+    # concentrate around zero with heavy tails (Figure 3 of the paper), and
+    # that peaked shape is what the compression error inherits.  Shape the
+    # initialization accordingly so the demo reflects a trained model.
+    rng = np.random.default_rng(0)
+    weights = (weights * np.abs(rng.standard_normal(weights.shape)) ** 1.5).astype(np.float32)
+    sensitivity = float(np.max(np.abs(weights)))
+    print(f"{args.model}: {weights.size:,} lossy-compressible weights, "
+          f"L1 sensitivity proxy {sensitivity:.3f}\n")
+
+    header = f"{'REL bound':>9}  {'error std':>10}  {'Laplace b':>10}  {'kurtosis':>8}  " \
+             f"{'Laplace fits better?':>21}  {'equiv. epsilon':>14}"
+    print(header)
+    print("-" * len(header))
+    for bound in BOUNDS:
+        errors = compression_errors(SZ2Compressor(error_bound=bound), weights)
+        fit = analyze_error_distribution(errors)
+        epsilon = epsilon_for_laplace_noise(sensitivity, fit.laplace_scale)
+        print(f"{bound:>9.2f}  {fit.std:>10.5f}  {fit.laplace_scale:>10.5f}  "
+              f"{fit.excess_kurtosis:>8.2f}  {'yes' if fit.laplace_like else 'no':>21}  "
+              f"{epsilon:>14.1f}")
+
+    print("\nInterpretation: at large bounds the error inherits the peaked, heavy-tailed")
+    print("shape of the weights themselves (Laplace-like); at tight bounds it tends")
+    print("toward uniform quantization noise.  The 'equiv. epsilon' column is what the")
+    print("Laplace mechanism would charge for additive noise of the same scale - a")
+    print("starting point for the DP analysis the paper leaves to future work, not a")
+    print("formal privacy guarantee.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The environment used for development ships setuptools without the ``wheel``
+package, so PEP 517 editable builds (which require ``bdist_wheel``) are not
+available.  Keeping a ``setup.py`` lets ``pip install -e .`` fall back to the
+legacy develop install.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,30 @@
+"""Reproduction of FedSZ: error-bounded lossy compression for FL communications.
+
+The package is organised bottom-up:
+
+* :mod:`repro.utils` — bit I/O, timing, RNG, serialization helpers,
+* :mod:`repro.compressors` — SZ2/SZ3/SZx/ZFP-style error-bounded lossy
+  compressors and the lossless codecs,
+* :mod:`repro.nn` — a NumPy neural-network substrate with PyTorch-like
+  ``state_dict`` semantics and the paper's (scaled) model architectures,
+* :mod:`repro.data` — synthetic datasets, federated partitioning, loaders,
+* :mod:`repro.core` — the FedSZ pipeline itself (Algorithm 1 / Figure 1),
+* :mod:`repro.fl` — FedAvg clients/server, round orchestration, scaling models,
+* :mod:`repro.privacy` — compression-error distribution analysis (Figure 10).
+
+Quickstart::
+
+    from repro.core import FedSZCompressor, FedSZConfig
+    from repro.nn import build_model
+
+    model = build_model("alexnet")
+    fedsz = FedSZCompressor(FedSZConfig(error_bound=1e-2))
+    payload = fedsz.compress_state_dict(model.state_dict())
+    restored = fedsz.decompress_state_dict(payload)
+"""
+
+from repro.core import FedSZCompressor, FedSZConfig
+
+__version__ = "1.0.0"
+
+__all__ = ["FedSZCompressor", "FedSZConfig", "__version__"]

@@ -1,0 +1,213 @@
+"""Common interfaces for the lossy and lossless compressors.
+
+Every compressor exposes ``compress(array) -> bytes`` and
+``decompress(bytes) -> array``.  Lossy compressors additionally carry an
+:class:`ErrorBound` describing the per-element guarantee
+``|x - x_reconstructed| <= eps`` where ``eps`` is either an absolute value or a
+fraction of the data's dynamic range (the paper's REL mode).
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+import struct
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "ErrorBoundMode",
+    "ErrorBound",
+    "Compressor",
+    "LossyCompressor",
+    "CompressionStats",
+    "roundtrip",
+]
+
+
+class ErrorBoundMode(str, enum.Enum):
+    """How the user-facing error bound value is interpreted."""
+
+    ABS = "abs"
+    #: bound = value * (max(data) - min(data)); the paper's default mode.
+    REL = "rel"
+
+
+@dataclass(frozen=True)
+class ErrorBound:
+    """A user-facing error bound: a value and the mode used to interpret it."""
+
+    value: float
+    mode: ErrorBoundMode = ErrorBoundMode.REL
+
+    def __post_init__(self) -> None:
+        if self.value <= 0:
+            raise ValueError(f"error bound must be positive, got {self.value}")
+
+    def absolute(self, data: np.ndarray) -> float:
+        """Resolve the bound to an absolute tolerance for ``data``.
+
+        In REL mode a constant array has zero range; we then fall back to a
+        tiny absolute bound so that compression degenerates gracefully to a
+        near-lossless constant encoding instead of dividing by zero.
+        """
+        if self.mode is ErrorBoundMode.ABS:
+            return float(self.value)
+        data = np.asarray(data)
+        if data.size == 0:
+            return float(self.value)
+        value_range = float(np.max(data) - np.min(data))
+        if value_range == 0.0:
+            scale = max(abs(float(data.flat[0])), 1.0)
+            return float(self.value) * scale * 1e-6
+        return float(self.value) * value_range
+
+
+@dataclass
+class CompressionStats:
+    """Round-trip statistics for one compression call (used by the benches)."""
+
+    original_bytes: int
+    compressed_bytes: int
+    compress_seconds: float
+    decompress_seconds: float
+    max_abs_error: float
+
+    @property
+    def ratio(self) -> float:
+        """Compression ratio ``original / compressed`` (>= 0)."""
+        return self.original_bytes / self.compressed_bytes if self.compressed_bytes else float("inf")
+
+    @property
+    def compress_throughput_mbps(self) -> float:
+        """Compression throughput in MB/s of original data processed."""
+        if self.compress_seconds <= 0:
+            return float("inf")
+        return self.original_bytes / 1e6 / self.compress_seconds
+
+    @property
+    def decompress_throughput_mbps(self) -> float:
+        """Decompression throughput in MB/s of original data produced."""
+        if self.decompress_seconds <= 0:
+            return float("inf")
+        return self.original_bytes / 1e6 / self.decompress_seconds
+
+
+class Compressor(abc.ABC):
+    """Abstract base class shared by lossy and lossless compressors."""
+
+    #: short registry name, e.g. ``"sz2"``
+    name: str = "base"
+
+    @abc.abstractmethod
+    def compress(self, data: np.ndarray) -> bytes:
+        """Compress ``data`` into a self-describing byte string."""
+
+    @abc.abstractmethod
+    def decompress(self, payload: bytes) -> np.ndarray:
+        """Reconstruct the array stored in ``payload``."""
+
+
+class LossyCompressor(Compressor):
+    """Base class for error-bounded lossy compressors.
+
+    Subclasses implement :meth:`_compress_float1d` / :meth:`_decompress_float1d`
+    operating on flattened ``float32``/``float64`` arrays with a resolved
+    absolute bound.  This class handles shape/dtype bookkeeping, the REL→ABS
+    resolution, and the payload header, so every compressor shares the same
+    container format::
+
+        u8   dtype code (0=float32, 1=float64)
+        u8   ndim
+        u64* shape
+        f64  absolute error bound actually used
+        ...  compressor-specific body
+    """
+
+    _DTYPE_CODES = {np.dtype(np.float32): 0, np.dtype(np.float64): 1}
+    _CODE_DTYPES = {0: np.dtype(np.float32), 1: np.dtype(np.float64)}
+
+    def __init__(self, error_bound: ErrorBound | float = 1e-2,
+                 mode: ErrorBoundMode | str = ErrorBoundMode.REL) -> None:
+        if isinstance(error_bound, ErrorBound):
+            self.error_bound = error_bound
+        else:
+            self.error_bound = ErrorBound(float(error_bound), ErrorBoundMode(mode))
+
+    # -- subclass hooks ----------------------------------------------------
+    @abc.abstractmethod
+    def _compress_float1d(self, data: np.ndarray, abs_bound: float) -> bytes:
+        """Compress a contiguous 1-D float array under an absolute bound."""
+
+    @abc.abstractmethod
+    def _decompress_float1d(self, body: bytes, count: int, abs_bound: float,
+                            dtype: np.dtype) -> np.ndarray:
+        """Reconstruct ``count`` values from a compressor-specific body."""
+
+    # -- public API ---------------------------------------------------------
+    def compress(self, data: np.ndarray) -> bytes:
+        data = np.asarray(data)
+        if data.dtype not in self._DTYPE_CODES:
+            data = data.astype(np.float32)
+        flat = np.ascontiguousarray(data).ravel()
+        abs_bound = self.error_bound.absolute(flat) if flat.size else float(self.error_bound.value)
+        if data.dtype == np.dtype(np.float32) and flat.size:
+            # Reconstruction happens in float64 but is returned in the input
+            # dtype; shave one float32 ULP off the internal bound so the final
+            # cast cannot push the error past the user-facing guarantee.
+            ulp_margin = float(np.max(np.abs(flat))) * 2.0 ** -23
+            if abs_bound > 2 * ulp_margin:
+                abs_bound -= ulp_margin
+        header = struct.pack("<BB", self._DTYPE_CODES[data.dtype], data.ndim)
+        header += struct.pack(f"<{data.ndim}Q", *data.shape) if data.ndim else b""
+        header += struct.pack("<d", abs_bound)
+        body = self._compress_float1d(flat.astype(np.float64, copy=False), abs_bound)
+        return header + body
+
+    def decompress(self, payload: bytes) -> np.ndarray:
+        dtype_code, ndim = struct.unpack_from("<BB", payload, 0)
+        offset = 2
+        shape = struct.unpack_from(f"<{ndim}Q", payload, offset) if ndim else ()
+        offset += 8 * ndim
+        (abs_bound,) = struct.unpack_from("<d", payload, offset)
+        offset += 8
+        dtype = self._CODE_DTYPES[dtype_code]
+        count = int(np.prod(shape)) if shape else 1
+        if ndim == 0:
+            count = 1
+        flat = self._decompress_float1d(payload[offset:], count, abs_bound, dtype)
+        return flat.astype(dtype, copy=False).reshape(shape)
+
+    def with_error_bound(self, error_bound: ErrorBound | float,
+                         mode: ErrorBoundMode | str | None = None) -> "LossyCompressor":
+        """Return a copy of this compressor configured with a new bound."""
+        if isinstance(error_bound, ErrorBound):
+            bound = error_bound
+        else:
+            bound_mode = ErrorBoundMode(mode) if mode is not None else self.error_bound.mode
+            bound = ErrorBound(float(error_bound), bound_mode)
+        clone = type(self).__new__(type(self))
+        clone.__dict__.update(self.__dict__)
+        clone.error_bound = bound
+        return clone
+
+
+def roundtrip(compressor: Compressor, data: np.ndarray) -> tuple[np.ndarray, CompressionStats]:
+    """Compress then decompress ``data``, returning the reconstruction and stats."""
+    data = np.asarray(data)
+    start = time.perf_counter()
+    payload = compressor.compress(data)
+    mid = time.perf_counter()
+    recon = compressor.decompress(payload)
+    end = time.perf_counter()
+    max_err = float(np.max(np.abs(data.astype(np.float64) - recon.astype(np.float64)))) if data.size else 0.0
+    stats = CompressionStats(
+        original_bytes=int(data.nbytes),
+        compressed_bytes=len(payload),
+        compress_seconds=mid - start,
+        decompress_seconds=end - mid,
+        max_abs_error=max_err,
+    )
+    return recon, stats

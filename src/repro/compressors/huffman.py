@@ -1,0 +1,202 @@
+"""Canonical Huffman coding of integer symbol streams.
+
+SZ2 and SZ3 entropy-code their quantization indices with Huffman before the
+final lossless stage.  This module provides a self-contained canonical Huffman
+coder over non-negative integer symbols:
+
+* tree construction with :mod:`heapq` on the symbol histogram,
+* code lengths limited to :data:`MAX_CODE_LENGTH` bits (package-merge style
+  rebalancing by clamping and re-normalizing Kraft mass),
+* vectorized encoding (all code bits emitted with NumPy in one shot),
+* table-driven decoding (a flat lookup table indexed by ``MAX_CODE_LENGTH``-bit
+  windows, the classic fast canonical decoder).
+
+The encoded payload is self-describing: it stores the code-length table so the
+decoder needs no side channel.
+"""
+
+from __future__ import annotations
+
+import heapq
+import struct
+
+import numpy as np
+
+__all__ = ["HuffmanCoder", "MAX_CODE_LENGTH"]
+
+#: Longest permitted codeword.  16 keeps the decode lookup table at 64K entries.
+MAX_CODE_LENGTH = 16
+
+
+def _build_code_lengths(frequencies: np.ndarray) -> np.ndarray:
+    """Return per-symbol code lengths from a frequency histogram.
+
+    Standard Huffman construction; lengths exceeding :data:`MAX_CODE_LENGTH`
+    are clamped and the length table re-normalized so the Kraft inequality
+    still holds (a slight loss of optimality, never of correctness).
+    """
+    symbols = np.flatnonzero(frequencies)
+    lengths = np.zeros(frequencies.size, dtype=np.int64)
+    if symbols.size == 0:
+        return lengths
+    if symbols.size == 1:
+        lengths[symbols[0]] = 1
+        return lengths
+
+    # heap entries: (freq, tiebreak, node) where node is a symbol or [left, right]
+    counter = 0
+    heap: list[tuple[int, int, object]] = []
+    for sym in symbols:
+        heap.append((int(frequencies[sym]), counter, int(sym)))
+        counter += 1
+    heapq.heapify(heap)
+    while len(heap) > 1:
+        f1, _, n1 = heapq.heappop(heap)
+        f2, _, n2 = heapq.heappop(heap)
+        heapq.heappush(heap, (f1 + f2, counter, (n1, n2)))
+        counter += 1
+
+    # depth-first traversal assigning depths
+    stack = [(heap[0][2], 0)]
+    while stack:
+        node, depth = stack.pop()
+        if isinstance(node, tuple):
+            stack.append((node[0], depth + 1))
+            stack.append((node[1], depth + 1))
+        else:
+            lengths[node] = max(depth, 1)
+
+    if lengths.max() <= MAX_CODE_LENGTH:
+        return lengths
+
+    # Clamp over-long codes and restore the Kraft inequality by lengthening the
+    # shortest codes until sum(2^-len) <= 1 again.
+    lengths[lengths > MAX_CODE_LENGTH] = MAX_CODE_LENGTH
+    used = np.flatnonzero(lengths)
+
+    def kraft(ls: np.ndarray) -> float:
+        return float(np.sum(2.0 ** (-ls[used].astype(np.float64))))
+
+    while kraft(lengths) > 1.0:
+        # lengthen the currently shortest codeword (cheapest in extra bits)
+        candidates = used[lengths[used] < MAX_CODE_LENGTH]
+        if candidates.size == 0:
+            raise RuntimeError("cannot satisfy Kraft inequality within MAX_CODE_LENGTH")
+        target = candidates[np.argmin(lengths[candidates])]
+        lengths[target] += 1
+    return lengths
+
+
+def _canonical_codes(lengths: np.ndarray) -> np.ndarray:
+    """Assign canonical code values given per-symbol lengths (0 = unused)."""
+    codes = np.zeros(lengths.size, dtype=np.uint32)
+    used = np.flatnonzero(lengths)
+    if used.size == 0:
+        return codes
+    # canonical order: by (length, symbol)
+    order = used[np.lexsort((used, lengths[used]))]
+    code = 0
+    prev_len = int(lengths[order[0]])
+    for sym in order:
+        length = int(lengths[sym])
+        code <<= length - prev_len
+        codes[sym] = code
+        code += 1
+        prev_len = length
+    return codes
+
+
+class HuffmanCoder:
+    """Encode/decode streams of non-negative integer symbols."""
+
+    def encode(self, symbols: np.ndarray) -> bytes:
+        """Encode ``symbols`` (any integer dtype, values >= 0) to bytes."""
+        symbols = np.ascontiguousarray(symbols).ravel()
+        if symbols.size and symbols.min() < 0:
+            raise ValueError("Huffman symbols must be non-negative")
+        if symbols.size == 0:
+            return struct.pack("<IQ", 0, 0)
+        symbols = symbols.astype(np.int64, copy=False)
+        alphabet = int(symbols.max()) + 1
+        freqs = np.bincount(symbols, minlength=alphabet)
+        lengths = _build_code_lengths(freqs)
+        codes = _canonical_codes(lengths)
+
+        # header: alphabet size, symbol count, then 4-bit-packed... keep simple: u8 lengths
+        header = struct.pack("<IQ", alphabet, symbols.size)
+        header += lengths.astype(np.uint8).tobytes()
+
+        sym_lengths = lengths[symbols]
+        sym_codes = codes[symbols].astype(np.uint64)
+        total_bits = int(sym_lengths.sum())
+        max_len = int(lengths.max())
+
+        # Emit every code MSB-first into a flat bit array in one vectorized pass.
+        bitpos = np.arange(max_len, dtype=np.int64)
+        shift = sym_lengths[:, None] - 1 - bitpos[None, :]
+        valid = shift >= 0
+        shifted = sym_codes[:, None] >> np.maximum(shift, 0).astype(np.uint64)
+        bits = (shifted & np.uint64(1)).astype(np.uint8)
+        flat_bits = bits[valid]
+        assert flat_bits.size == total_bits
+        packed = np.packbits(flat_bits)
+        return header + struct.pack("<Q", total_bits) + packed.tobytes()
+
+    def decode(self, payload: bytes) -> np.ndarray:
+        """Decode a byte string produced by :meth:`encode` back to ``int64``."""
+        alphabet, count = struct.unpack_from("<IQ", payload, 0)
+        offset = 12
+        if count == 0:
+            return np.zeros(0, dtype=np.int64)
+        lengths = np.frombuffer(payload, dtype=np.uint8, count=alphabet, offset=offset).astype(np.int64)
+        offset += alphabet
+        (total_bits,) = struct.unpack_from("<Q", payload, offset)
+        offset += 8
+        bit_bytes = np.frombuffer(payload, dtype=np.uint8, offset=offset)
+        bits = np.unpackbits(bit_bytes)[:total_bits]
+
+        codes = _canonical_codes(lengths)
+        used = np.flatnonzero(lengths)
+        if used.size == 1:
+            return np.full(count, int(used[0]), dtype=np.int64)
+
+        # Fast canonical decoding: a lookup table indexed by the next
+        # MAX_CODE_LENGTH bits gives (symbol, code length) directly.
+        table_sym = np.zeros(1 << MAX_CODE_LENGTH, dtype=np.int64)
+        table_len = np.zeros(1 << MAX_CODE_LENGTH, dtype=np.int64)
+        for sym in used:
+            length = int(lengths[sym])
+            code = int(codes[sym])
+            pad = MAX_CODE_LENGTH - length
+            start = code << pad
+            end = (code + 1) << pad
+            table_sym[start:end] = sym
+            table_len[start:end] = length
+
+        # Pad the bitstream so windows never run off the end, then precompute
+        # the MAX_CODE_LENGTH-bit window value at every bit offset in one
+        # vectorized pass; the sequential decode loop below is then just two
+        # table lookups per symbol.
+        padded = np.concatenate([bits, np.zeros(MAX_CODE_LENGTH, dtype=np.uint8)])
+        weights = (1 << np.arange(MAX_CODE_LENGTH - 1, -1, -1)).astype(np.int64)
+        windows = np.lib.stride_tricks.sliding_window_view(padded, MAX_CODE_LENGTH)
+        window_vals = windows.astype(np.int64) @ weights
+
+        out = np.empty(count, dtype=np.int64)
+        pos = 0
+        tbl_sym = table_sym.tolist()
+        tbl_len = table_len.tolist()
+        win = window_vals.tolist()
+        # Decoding is inherently sequential (the next position depends on the
+        # decoded length); keep the loop body minimal.
+        for i in range(count):
+            idx = win[pos]
+            out[i] = tbl_sym[idx]
+            pos += tbl_len[idx]
+        if pos > total_bits:
+            raise ValueError("corrupt Huffman stream: decoded past end of data")
+        return out
+
+    def decode_with_table(self, payload: bytes) -> np.ndarray:
+        """Alias of :meth:`decode` kept for API symmetry with fast decoders."""
+        return self.decode(payload)

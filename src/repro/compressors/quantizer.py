@@ -1,0 +1,89 @@
+"""Error-bounded linear quantization of prediction residuals.
+
+The prediction-based compressors (SZ2, SZ3) turn each residual
+``r = x - prediction`` into an integer code ``q = round(r / (2 * eps))`` so
+that the reconstruction ``prediction + 2 * eps * q`` differs from ``x`` by at
+most ``eps``.  Values whose code would fall outside the configured quantization
+radius are flagged *unpredictable* and stored verbatim (lossless), exactly like
+SZ's outlier handling.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["LinearQuantizer", "QuantizationResult"]
+
+
+@dataclass
+class QuantizationResult:
+    """Output of :meth:`LinearQuantizer.quantize`.
+
+    ``codes`` holds shifted non-negative symbols (ready for Huffman): code 0 is
+    reserved for unpredictable values, predictable values map to
+    ``q + radius + 1``.  ``outliers`` stores the verbatim float values for the
+    positions where ``codes == 0``, in order of appearance.
+    """
+
+    codes: np.ndarray
+    outliers: np.ndarray
+    reconstructed: np.ndarray
+
+
+class LinearQuantizer:
+    """Uniform quantizer with a symmetric integer radius and outlier escape."""
+
+    def __init__(self, radius: int = 32768) -> None:
+        if radius < 1:
+            raise ValueError("radius must be >= 1")
+        self.radius = int(radius)
+
+    def quantize(self, data: np.ndarray, predictions: np.ndarray, abs_bound: float) -> QuantizationResult:
+        """Quantize ``data - predictions`` under the absolute bound."""
+        data = np.asarray(data, dtype=np.float64)
+        predictions = np.asarray(predictions, dtype=np.float64)
+        if data.shape != predictions.shape:
+            raise ValueError("data and predictions must have the same shape")
+        if abs_bound <= 0:
+            raise ValueError("abs_bound must be positive")
+        residual = data - predictions
+        q = np.rint(residual / (2.0 * abs_bound)).astype(np.int64)
+        predictable = np.abs(q) <= self.radius
+        reconstructed = np.where(predictable, predictions + 2.0 * abs_bound * q, data)
+        codes = np.where(predictable, q + self.radius + 1, 0).astype(np.int64)
+        outliers = data[~predictable].astype(np.float64)
+        return QuantizationResult(codes=codes, outliers=outliers, reconstructed=reconstructed)
+
+    def dequantize(self, codes: np.ndarray, outliers: np.ndarray, predictions: np.ndarray,
+                   abs_bound: float) -> np.ndarray:
+        """Invert :meth:`quantize` given the same predictions."""
+        codes = np.asarray(codes, dtype=np.int64)
+        predictions = np.asarray(predictions, dtype=np.float64)
+        q = codes - (self.radius + 1)
+        values = predictions + 2.0 * abs_bound * q
+        unpred = codes == 0
+        n_unpred = int(unpred.sum())
+        if n_unpred:
+            if outliers.size < n_unpred:
+                raise ValueError("not enough outlier values to dequantize")
+            values = values.copy()
+            values[unpred] = outliers[:n_unpred]
+        return values
+
+    # -- payload helpers -----------------------------------------------------
+    @staticmethod
+    def pack_outliers(outliers: np.ndarray) -> bytes:
+        """Serialize verbatim outlier values (float64, length prefixed)."""
+        outliers = np.asarray(outliers, dtype=np.float64)
+        return struct.pack("<Q", outliers.size) + outliers.tobytes()
+
+    @staticmethod
+    def unpack_outliers(payload: bytes, offset: int = 0) -> tuple[np.ndarray, int]:
+        """Inverse of :func:`pack_outliers`; returns the array and next offset."""
+        (count,) = struct.unpack_from("<Q", payload, offset)
+        offset += 8
+        values = np.frombuffer(payload, dtype=np.float64, count=count, offset=offset).copy()
+        return values, offset + 8 * count

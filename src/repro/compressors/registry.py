@@ -1,0 +1,50 @@
+"""Registry of the error-bounded lossy compressors.
+
+The FedSZ pipeline and the benchmark harness look compressors up by name
+(``"sz2"``, ``"sz3"``, ``"szx"``, ``"zfp"``); third-party compressors can be
+added with :func:`register_lossy` as long as they subclass
+:class:`~repro.compressors.base.LossyCompressor`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.compressors.base import ErrorBound, ErrorBoundMode, LossyCompressor
+from repro.compressors.sz2 import SZ2Compressor
+from repro.compressors.sz3 import SZ3Compressor
+from repro.compressors.szx import SZxCompressor
+from repro.compressors.zfp import ZFPCompressor
+
+__all__ = ["available_lossy", "get_lossy", "register_lossy"]
+
+_LOSSY: dict[str, Callable[..., LossyCompressor]] = {
+    "sz2": SZ2Compressor,
+    "sz3": SZ3Compressor,
+    "szx": SZxCompressor,
+    "zfp": ZFPCompressor,
+}
+
+
+def available_lossy() -> list[str]:
+    """Names of the registered lossy compressors."""
+    return sorted(_LOSSY)
+
+
+def register_lossy(name: str, factory: Callable[..., LossyCompressor],
+                   overwrite: bool = False) -> None:
+    """Register a new lossy compressor factory under ``name``."""
+    if name in _LOSSY and not overwrite:
+        raise ValueError(f"lossy compressor {name!r} already registered")
+    _LOSSY[name] = factory
+
+
+def get_lossy(name: str, error_bound: ErrorBound | float = 1e-2,
+              mode: ErrorBoundMode | str = ErrorBoundMode.REL,
+              **kwargs: object) -> LossyCompressor:
+    """Instantiate a lossy compressor by registry name."""
+    try:
+        factory = _LOSSY[name]
+    except KeyError as exc:
+        raise KeyError(f"unknown lossy compressor {name!r}; available: {available_lossy()}") from exc
+    return factory(error_bound=error_bound, mode=mode, **kwargs)

@@ -1,0 +1,53 @@
+"""FedSZ core: the paper's primary contribution.
+
+The core package implements Algorithm 1 and Figure 1 of the paper:
+
+1. :mod:`repro.core.partition` — split a model ``state_dict`` into the large
+   weight tensors (lossy-compressible) and the remaining metadata
+   (lossless-only),
+2. :mod:`repro.core.pipeline` — the FedSZ compression/decompression pipeline
+   producing a single self-describing bitstream per client update,
+3. :mod:`repro.core.network` — the bandwidth/benefit model of Eqn. (1),
+4. :mod:`repro.core.selection` — the compressor- and error-bound-selection
+   optimizers of Problems (2) and (3).
+"""
+
+from repro.core.adaptive import AdaptiveBoundPolicy, AdaptiveFedSZCompressor
+from repro.core.config import FedSZConfig
+from repro.core.network import (
+    DeviceProfile,
+    NetworkModel,
+    communication_time,
+    compression_is_worthwhile,
+    crossover_bandwidth,
+)
+from repro.core.partition import (
+    PartitionedState,
+    lossy_fraction,
+    partition_state_dict,
+)
+from repro.core.pipeline import FedSZCompressor, FedSZReport
+from repro.core.selection import (
+    CandidateEvaluation,
+    select_compressor,
+    select_error_bound,
+)
+
+__all__ = [
+    "FedSZConfig",
+    "AdaptiveBoundPolicy",
+    "AdaptiveFedSZCompressor",
+    "FedSZCompressor",
+    "FedSZReport",
+    "PartitionedState",
+    "partition_state_dict",
+    "lossy_fraction",
+    "NetworkModel",
+    "DeviceProfile",
+    "communication_time",
+    "compression_is_worthwhile",
+    "crossover_bandwidth",
+    "CandidateEvaluation",
+    "select_compressor",
+    "select_error_bound",
+]

@@ -1,0 +1,106 @@
+"""Network transfer model and the compression-benefit criterion (Eqn. 1).
+
+The paper's decision rule: compression pays off when
+``t_C + t_D + S'/B_N < S/B_N`` — the time to compress, decompress, and ship the
+smaller payload must beat shipping the original.  :func:`crossover_bandwidth`
+solves the equality for ``B_N``, reproducing Figure 8's ~500 Mbps crossover.
+
+:class:`DeviceProfile` translates compression timings measured on the host CPU
+into the edge-device (Raspberry Pi 5 class) timings Table I reports, and
+:class:`NetworkModel` turns payload sizes into transfer times for the simulated
+bandwidths of Figures 7-9 (optionally sleeping, mirroring the paper's
+MPI-delay-injection methodology).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+__all__ = [
+    "communication_time",
+    "compression_is_worthwhile",
+    "crossover_bandwidth",
+    "NetworkModel",
+    "DeviceProfile",
+]
+
+
+def communication_time(size_bytes: float, bandwidth_mbps: float, latency_s: float = 0.0) -> float:
+    """Seconds to transfer ``size_bytes`` over a link of ``bandwidth_mbps`` (megabits/s)."""
+    if bandwidth_mbps <= 0:
+        raise ValueError("bandwidth must be positive")
+    if size_bytes < 0:
+        raise ValueError("size must be non-negative")
+    return latency_s + (size_bytes * 8.0) / (bandwidth_mbps * 1e6)
+
+
+def compression_is_worthwhile(compress_s: float, decompress_s: float, original_bytes: float,
+                              compressed_bytes: float, bandwidth_mbps: float,
+                              latency_s: float = 0.0) -> bool:
+    """Evaluate Eqn. (1): does compressing reduce the end-to-end transfer time?"""
+    with_compression = (compress_s + decompress_s
+                        + communication_time(compressed_bytes, bandwidth_mbps, latency_s))
+    without_compression = communication_time(original_bytes, bandwidth_mbps, latency_s)
+    return with_compression < without_compression
+
+
+def crossover_bandwidth(compress_s: float, decompress_s: float, original_bytes: float,
+                        compressed_bytes: float) -> float:
+    """Bandwidth (Mbps) at which compression stops being worthwhile.
+
+    Below the returned bandwidth compression wins; above it the fixed
+    compression cost dominates (Figure 8).  Returns ``inf`` when compression is
+    free or removes no bytes are saved.
+    """
+    saved_bytes = original_bytes - compressed_bytes
+    overhead = compress_s + decompress_s
+    if overhead <= 0:
+        return float("inf")
+    if saved_bytes <= 0:
+        return 0.0
+    return (saved_bytes * 8.0) / (overhead * 1e6)
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """Scales host-measured compute times to a target edge device.
+
+    ``compute_factor`` is the ratio (target device time) / (host time); the
+    default of 3.0 approximates a Raspberry Pi 5 relative to a workstation-class
+    x86 core for NumPy-heavy workloads.  Used when reporting Table I-style edge
+    timings from host measurements (the substitution is recorded in DESIGN.md).
+    """
+
+    name: str = "raspberry-pi-5"
+    compute_factor: float = 3.0
+
+    def scale(self, host_seconds: float) -> float:
+        """Translate a host-measured duration to the profiled device."""
+        return host_seconds * self.compute_factor
+
+
+@dataclass
+class NetworkModel:
+    """A point-to-point link with fixed bandwidth and latency.
+
+    ``simulate_delay=True`` reproduces the paper's methodology of injecting
+    real sleeps proportional to the payload size into the communication path;
+    with the default ``False`` the transfer time is returned analytically,
+    which keeps the benchmark suite fast while producing identical numbers.
+    """
+
+    bandwidth_mbps: float = 10.0
+    latency_s: float = 0.0
+    simulate_delay: bool = False
+
+    def transfer_time(self, size_bytes: float) -> float:
+        """Seconds needed to move ``size_bytes`` across the link."""
+        return communication_time(size_bytes, self.bandwidth_mbps, self.latency_s)
+
+    def transfer(self, size_bytes: float) -> float:
+        """Model one transfer; sleeps for the transfer time when simulating."""
+        duration = self.transfer_time(size_bytes)
+        if self.simulate_delay:
+            time.sleep(duration)
+        return duration

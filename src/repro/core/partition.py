@@ -1,0 +1,76 @@
+"""State-dict partitioning (Algorithm 1, lines 2-8).
+
+A tensor goes to the *lossy* partition when its name contains one of the
+configured tokens (``"weight"`` by default) **and** it holds more elements than
+the threshold; everything else — biases, BatchNorm statistics, small weights —
+goes to the *lossless* partition.  Lossy-compressing the metadata destroys
+model accuracy (Section V-C of the paper and the partitioning ablation
+benchmark), which is exactly why the split exists.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.config import FedSZConfig
+
+__all__ = ["PartitionedState", "partition_state_dict", "lossy_fraction"]
+
+
+@dataclass
+class PartitionedState:
+    """Result of partitioning a state dict."""
+
+    lossy: "OrderedDict[str, np.ndarray]" = field(default_factory=OrderedDict)
+    lossless: "OrderedDict[str, np.ndarray]" = field(default_factory=OrderedDict)
+
+    @property
+    def lossy_bytes(self) -> int:
+        """Total byte size of the lossy partition."""
+        return sum(int(v.nbytes) for v in self.lossy.values())
+
+    @property
+    def lossless_bytes(self) -> int:
+        """Total byte size of the lossless partition."""
+        return sum(int(v.nbytes) for v in self.lossless.values())
+
+    @property
+    def total_bytes(self) -> int:
+        """Total byte size of the original state dict."""
+        return self.lossy_bytes + self.lossless_bytes
+
+    @property
+    def lossy_fraction(self) -> float:
+        """Fraction of bytes routed to the lossy compressor (Table III column)."""
+        total = self.total_bytes
+        return self.lossy_bytes / total if total else 0.0
+
+
+def _is_lossy_candidate(name: str, array: np.ndarray, config: FedSZConfig) -> bool:
+    if not np.issubdtype(np.asarray(array).dtype, np.floating):
+        return False
+    if array.size <= config.threshold:
+        return False
+    return any(token in name for token in config.lossy_name_tokens)
+
+
+def partition_state_dict(state: dict[str, np.ndarray],
+                         config: FedSZConfig | None = None) -> PartitionedState:
+    """Split ``state`` into lossy and lossless partitions per Algorithm 1."""
+    config = config or FedSZConfig()
+    result = PartitionedState()
+    for name, array in state.items():
+        array = np.asarray(array)
+        if _is_lossy_candidate(name, array, config):
+            result.lossy[name] = array
+        else:
+            result.lossless[name] = array
+    return result
+
+
+def lossy_fraction(state: dict[str, np.ndarray], config: FedSZConfig | None = None) -> float:
+    """Fraction of state-dict bytes that FedSZ would lossy-compress."""
+    return partition_state_dict(state, config).lossy_fraction

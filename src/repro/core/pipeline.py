@@ -1,0 +1,165 @@
+"""The FedSZ compression/decompression pipeline (Figure 1 of the paper).
+
+Client side (:meth:`FedSZCompressor.compress_state_dict`):
+
+1. partition the ``state_dict`` into lossy and lossless tensors,
+2. compress each lossy tensor with the configured EBLC (the per-tensor payload
+   is self-describing: dtype, shape, absolute bound),
+3. serialize the lossless partition into a single buffer and compress it with
+   the configured lossless codec,
+4. pack everything (plus a small manifest) into one bitstream.
+
+Server side (:meth:`FedSZCompressor.decompress_state_dict`) reverses the steps
+and returns a ``state_dict`` with the original tensor names, dtypes, and
+shapes, ready for FedAvg aggregation.
+"""
+
+from __future__ import annotations
+
+import struct
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.compressors.base import LossyCompressor
+from repro.compressors.lossless import LosslessCodec, get_lossless
+from repro.compressors.registry import get_lossy
+from repro.core.config import FedSZConfig
+from repro.core.partition import PartitionedState, partition_state_dict
+from repro.utils.serialization import pack_arrays, pack_bytes_dict, unpack_arrays, unpack_bytes_dict
+
+__all__ = ["FedSZCompressor", "FedSZReport"]
+
+_FORMAT_VERSION = 1
+
+
+@dataclass
+class FedSZReport:
+    """Per-update compression statistics (feeds Tables I and V and Figure 6)."""
+
+    original_bytes: int
+    compressed_bytes: int
+    lossy_original_bytes: int
+    lossy_compressed_bytes: int
+    lossless_original_bytes: int
+    lossless_compressed_bytes: int
+    compress_seconds: float
+    decompress_seconds: float = 0.0
+
+    @property
+    def ratio(self) -> float:
+        """Overall compression ratio of the client update."""
+        return self.original_bytes / self.compressed_bytes if self.compressed_bytes else float("inf")
+
+    @property
+    def lossy_ratio(self) -> float:
+        """Compression ratio of the lossy partition alone."""
+        if not self.lossy_compressed_bytes:
+            return float("inf") if self.lossy_original_bytes else 1.0
+        return self.lossy_original_bytes / self.lossy_compressed_bytes
+
+    @property
+    def lossless_ratio(self) -> float:
+        """Compression ratio of the lossless partition alone."""
+        if not self.lossless_compressed_bytes:
+            return float("inf") if self.lossless_original_bytes else 1.0
+        return self.lossless_original_bytes / self.lossless_compressed_bytes
+
+    @property
+    def throughput_mbps(self) -> float:
+        """Compression throughput over the whole update (MB/s)."""
+        if self.compress_seconds <= 0:
+            return float("inf")
+        return self.original_bytes / 1e6 / self.compress_seconds
+
+
+class FedSZCompressor:
+    """Compress and decompress model state dictionaries per the FedSZ scheme."""
+
+    def __init__(self, config: FedSZConfig | None = None,
+                 lossy: LossyCompressor | None = None,
+                 lossless: LosslessCodec | None = None) -> None:
+        self.config = config or FedSZConfig()
+        self.lossy = lossy if lossy is not None else get_lossy(
+            self.config.lossy_compressor,
+            error_bound=self.config.error_bound,
+            mode=self.config.error_mode,
+            **self.config.lossy_options,
+        )
+        self.lossless = lossless if lossless is not None else get_lossless(
+            self.config.lossless_codec, **self.config.lossless_options)
+        self.last_report: FedSZReport | None = None
+
+    # ------------------------------------------------------------------
+    def compress_state_dict(self, state: dict[str, np.ndarray]) -> bytes:
+        """Compress a full state dict into a single FedSZ bitstream."""
+        start = time.perf_counter()
+        partition = partition_state_dict(state, self.config)
+
+        lossy_payloads: "OrderedDict[str, bytes]" = OrderedDict()
+        for name, array in partition.lossy.items():
+            lossy_payloads[name] = self.lossy.compress(array)
+
+        lossless_raw = pack_arrays(dict(partition.lossless))
+        lossless_payload = self.lossless.compress(lossless_raw)
+
+        manifest = struct.pack("<IQ", _FORMAT_VERSION, len(state))
+        bitstream = pack_bytes_dict({
+            "__manifest__": manifest,
+            "__lossless__": lossless_payload,
+            **{f"lossy::{name}": payload for name, payload in lossy_payloads.items()},
+        })
+        elapsed = time.perf_counter() - start
+        self.last_report = FedSZReport(
+            original_bytes=partition.total_bytes,
+            compressed_bytes=len(bitstream),
+            lossy_original_bytes=partition.lossy_bytes,
+            lossy_compressed_bytes=sum(len(p) for p in lossy_payloads.values()),
+            lossless_original_bytes=partition.lossless_bytes,
+            lossless_compressed_bytes=len(lossless_payload),
+            compress_seconds=elapsed,
+        )
+        return bitstream
+
+    # ------------------------------------------------------------------
+    def decompress_state_dict(self, bitstream: bytes) -> "OrderedDict[str, np.ndarray]":
+        """Reconstruct the state dict from a FedSZ bitstream."""
+        start = time.perf_counter()
+        entries = unpack_bytes_dict(bitstream)
+        manifest = entries.pop("__manifest__", None)
+        if manifest is None:
+            raise ValueError("not a FedSZ bitstream: missing manifest")
+        version, _n_entries = struct.unpack("<IQ", manifest)
+        if version != _FORMAT_VERSION:
+            raise ValueError(f"unsupported FedSZ bitstream version {version}")
+
+        lossless_payload = entries.pop("__lossless__", b"")
+        lossless_arrays = unpack_arrays(self.lossless.decompress(lossless_payload)) \
+            if lossless_payload else {}
+
+        state: "OrderedDict[str, np.ndarray]" = OrderedDict()
+        for key, payload in entries.items():
+            if not key.startswith("lossy::"):
+                raise ValueError(f"unexpected entry {key!r} in FedSZ bitstream")
+            name = key[len("lossy::"):]
+            state[name] = self.lossy.decompress(payload)
+        for name, array in lossless_arrays.items():
+            state[name] = array
+        elapsed = time.perf_counter() - start
+        if self.last_report is not None:
+            self.last_report.decompress_seconds = elapsed
+        return state
+
+    # ------------------------------------------------------------------
+    def roundtrip(self, state: dict[str, np.ndarray]) -> tuple["OrderedDict[str, np.ndarray]", FedSZReport]:
+        """Compress then decompress ``state``; returns the reconstruction and report."""
+        payload = self.compress_state_dict(state)
+        recon = self.decompress_state_dict(payload)
+        assert self.last_report is not None
+        return recon, self.last_report
+
+    def partition(self, state: dict[str, np.ndarray]) -> PartitionedState:
+        """Expose the partitioning decision for inspection (Table III)."""
+        return partition_state_dict(state, self.config)

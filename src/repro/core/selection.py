@@ -1,0 +1,111 @@
+"""Compressor and error-bound selection (Problems 1 and 2, Section IV).
+
+Problem 1 (Eqn. 2): among candidate EBLCs and error bounds, maximize the
+compression ratio and minimize the runtime subject to the runtime staying below
+the uncompressed transfer time and the ratio staying in ``[1, S]``.
+
+Problem 2 (Eqn. 3): choose the error bound that minimizes communication cost
+while keeping the inference-accuracy drop within a tolerance.
+
+Both are solved by exhaustive evaluation over the (small) candidate grid, which
+is exactly how the paper arrives at SZ2 + REL 1e-2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from repro.compressors.base import ErrorBoundMode, roundtrip
+from repro.compressors.registry import get_lossy
+from repro.core.network import communication_time
+
+__all__ = ["CandidateEvaluation", "select_compressor", "select_error_bound"]
+
+
+@dataclass
+class CandidateEvaluation:
+    """Measured behaviour of one (compressor, error bound) candidate."""
+
+    compressor: str
+    error_bound: float
+    ratio: float
+    compress_seconds: float
+    decompress_seconds: float
+    max_abs_error: float
+    feasible: bool
+
+    @property
+    def runtime(self) -> float:
+        """Total compression + decompression runtime."""
+        return self.compress_seconds + self.decompress_seconds
+
+
+def _score(candidate: CandidateEvaluation, runtime_weight: float) -> float:
+    """Scalarization of the two objectives (higher is better)."""
+    return candidate.ratio - runtime_weight * candidate.runtime
+
+
+def select_compressor(data: np.ndarray, candidates: Sequence[str] = ("sz2", "sz3", "szx", "zfp"),
+                      error_bounds: Iterable[float] = (1e-2, 1e-3, 1e-4),
+                      mode: ErrorBoundMode | str = ErrorBoundMode.REL,
+                      bandwidth_mbps: float = 10.0, runtime_weight: float = 0.5,
+                      ) -> tuple[CandidateEvaluation, list[CandidateEvaluation]]:
+    """Solve Problem 1 on ``data`` by measuring every candidate.
+
+    Returns the selected candidate (the best feasible scalarized score) and the
+    full evaluation grid so callers can report the whole Table I-style
+    comparison.
+    """
+    data = np.asarray(data)
+    if data.size == 0:
+        raise ValueError("cannot select a compressor for empty data")
+    uncompressed_time = communication_time(data.nbytes, bandwidth_mbps)
+    evaluations: list[CandidateEvaluation] = []
+    for name in candidates:
+        for bound in error_bounds:
+            compressor = get_lossy(name, error_bound=bound, mode=mode)
+            _, stats = roundtrip(compressor, data)
+            feasible = (stats.compress_seconds < uncompressed_time
+                        and 1.0 <= stats.ratio <= data.size)
+            evaluations.append(CandidateEvaluation(
+                compressor=name,
+                error_bound=float(bound),
+                ratio=stats.ratio,
+                compress_seconds=stats.compress_seconds,
+                decompress_seconds=stats.decompress_seconds,
+                max_abs_error=stats.max_abs_error,
+                feasible=feasible,
+            ))
+    feasible_set = [e for e in evaluations if e.feasible]
+    pool = feasible_set if feasible_set else evaluations
+    best = max(pool, key=lambda e: _score(e, runtime_weight))
+    return best, evaluations
+
+
+def select_error_bound(accuracy_fn: Callable[[float], float],
+                       cost_fn: Callable[[float], float],
+                       error_bounds: Iterable[float] = (1e-5, 1e-4, 1e-3, 1e-2, 1e-1),
+                       baseline_accuracy: float | None = None,
+                       tolerance: float = 0.005) -> float:
+    """Solve Problem 2: the largest bound whose accuracy stays within tolerance.
+
+    ``accuracy_fn(eps)`` returns validation accuracy with FedSZ at bound
+    ``eps``; ``cost_fn(eps)`` returns the communication cost (e.g. compressed
+    bytes).  ``baseline_accuracy`` defaults to the accuracy at the smallest
+    bound, which approximates the uncompressed model.  Among bounds whose
+    accuracy drop is within ``tolerance`` the one with the lowest cost is
+    returned; if no bound qualifies the most accurate bound is returned.
+    """
+    bounds = sorted(float(b) for b in error_bounds)
+    if not bounds:
+        raise ValueError("error_bounds must be non-empty")
+    accuracies = {b: float(accuracy_fn(b)) for b in bounds}
+    costs = {b: float(cost_fn(b)) for b in bounds}
+    reference = baseline_accuracy if baseline_accuracy is not None else accuracies[bounds[0]]
+    acceptable = [b for b in bounds if reference - accuracies[b] <= tolerance]
+    if acceptable:
+        return min(acceptable, key=lambda b: costs[b])
+    return max(bounds, key=lambda b: accuracies[b])

@@ -1,0 +1,143 @@
+"""Synthetic stand-ins for the paper's image-classification datasets.
+
+Each dataset is generated from a class-conditional model: every class owns a
+smooth random spatial template (a mixture of low-frequency cosine modes) and
+samples are the template plus per-sample deformation and pixel noise.  This
+gives the classifiers genuine structure to learn — accuracy rises with
+training and degrades when weights are perturbed beyond the useful error
+bound, which is the behaviour the paper's Figures 4 and 5 measure.
+
+``DatasetSpec`` carries the Table IV characteristics (sample count, input
+dimension, class count).  The full-size sample counts are the paper's; callers
+normally request a smaller ``n_samples`` to fit the CPU budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.rng import make_rng
+
+__all__ = ["Dataset", "DatasetSpec", "available_datasets", "dataset_spec", "make_dataset"]
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Static description of a dataset (the Table IV row)."""
+
+    name: str
+    n_samples: int
+    image_size: int
+    in_channels: int
+    num_classes: int
+
+    @property
+    def input_dimension(self) -> tuple[int, int, int]:
+        """(channels, height, width) of one sample."""
+        return (self.in_channels, self.image_size, self.image_size)
+
+
+@dataclass
+class Dataset:
+    """In-memory dataset: float32 images (N, C, H, W) and int64 labels (N,)."""
+
+    name: str
+    images: np.ndarray
+    labels: np.ndarray
+    num_classes: int
+
+    def __len__(self) -> int:
+        return int(self.images.shape[0])
+
+    def subset(self, indices: np.ndarray) -> "Dataset":
+        """Return a new dataset holding only ``indices`` (copying the slices)."""
+        indices = np.asarray(indices, dtype=np.int64)
+        return Dataset(self.name, self.images[indices].copy(), self.labels[indices].copy(),
+                       self.num_classes)
+
+    @property
+    def input_shape(self) -> tuple[int, int, int]:
+        """(channels, height, width) of one sample."""
+        return tuple(self.images.shape[1:])  # type: ignore[return-value]
+
+
+#: Paper-scale dataset characteristics (Table IV).  ``image_size`` for the
+#: Caltech101 stand-in is reduced from 224 to 64 to fit the CPU budget; the
+#: class count and the relative difficulty ordering are preserved.
+_SPECS: dict[str, DatasetSpec] = {
+    "cifar10": DatasetSpec("cifar10", 60_000, 32, 3, 10),
+    "fmnist": DatasetSpec("fmnist", 70_000, 28, 1, 10),
+    "caltech101": DatasetSpec("caltech101", 9_000, 64, 3, 101),
+}
+
+
+def available_datasets() -> list[str]:
+    """Names accepted by :func:`make_dataset`."""
+    return sorted(_SPECS)
+
+
+def dataset_spec(name: str) -> DatasetSpec:
+    """Return the Table IV characteristics for ``name``."""
+    try:
+        return _SPECS[name.lower()]
+    except KeyError as exc:
+        raise KeyError(f"unknown dataset {name!r}; available: {available_datasets()}") from exc
+
+
+def _class_templates(num_classes: int, in_channels: int, image_size: int,
+                     rng: np.random.Generator, n_modes: int = 6) -> np.ndarray:
+    """Smooth per-class spatial templates built from random low-frequency modes."""
+    yy, xx = np.meshgrid(np.linspace(0, 1, image_size), np.linspace(0, 1, image_size),
+                         indexing="ij")
+    templates = np.zeros((num_classes, in_channels, image_size, image_size), dtype=np.float64)
+    for c in range(num_classes):
+        for ch in range(in_channels):
+            field = np.zeros_like(yy)
+            for _ in range(n_modes):
+                fx, fy = rng.uniform(0.5, 3.0, size=2)
+                phase_x, phase_y = rng.uniform(0, 2 * np.pi, size=2)
+                amp = rng.uniform(0.4, 1.0)
+                field += amp * np.cos(2 * np.pi * fx * xx + phase_x) * np.cos(2 * np.pi * fy * yy + phase_y)
+            templates[c, ch] = field / n_modes
+    return templates
+
+
+def make_dataset(name: str, n_samples: int | None = None, seed: int | None = 0,
+                 noise: float = 0.35, num_classes: int | None = None,
+                 image_size: int | None = None) -> Dataset:
+    """Generate a synthetic dataset matching the named spec.
+
+    Parameters
+    ----------
+    name:
+        One of :func:`available_datasets` (``"cifar10"``, ``"fmnist"``,
+        ``"caltech101"``).
+    n_samples:
+        Number of samples to generate (defaults to a CPU-friendly 2,048 rather
+        than the paper-scale count recorded in the spec).
+    noise:
+        Standard deviation of the per-pixel Gaussian noise; higher values make
+        the classification task harder.
+    num_classes / image_size:
+        Optional overrides used by the fast test suite; when omitted the Table
+        IV values are used (with Caltech101 images at 64x64).
+    """
+    spec = dataset_spec(name)
+    rng = make_rng(seed)
+    n = int(n_samples) if n_samples is not None else 2048
+    classes = int(num_classes) if num_classes is not None else spec.num_classes
+    size = int(image_size) if image_size is not None else spec.image_size
+
+    templates = _class_templates(classes, spec.in_channels, size, rng)
+    labels = rng.integers(0, classes, size=n)
+    images = templates[labels]
+    # per-sample smooth deformation (global brightness/contrast jitter) + pixel noise
+    contrast = rng.uniform(0.8, 1.2, size=(n, 1, 1, 1))
+    brightness = rng.normal(0.0, 0.1, size=(n, 1, 1, 1))
+    images = images * contrast + brightness
+    images = images + rng.normal(0.0, noise, size=images.shape)
+    images = images.astype(np.float32)
+    return Dataset(name=spec.name, images=images, labels=labels.astype(np.int64),
+                   num_classes=classes)

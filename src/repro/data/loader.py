@@ -1,0 +1,54 @@
+"""Mini-batch iteration and train/test splitting."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.data.datasets import Dataset
+from repro.utils.rng import make_rng
+
+__all__ = ["BatchLoader", "train_test_split"]
+
+
+class BatchLoader:
+    """Iterate a dataset in shuffled mini-batches of (images, labels)."""
+
+    def __init__(self, dataset: Dataset, batch_size: int = 32, shuffle: bool = True,
+                 seed: int | None = 0, drop_last: bool = False) -> None:
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.dataset = dataset
+        self.batch_size = int(batch_size)
+        self.shuffle = shuffle
+        self.drop_last = drop_last
+        self._rng = make_rng(seed)
+
+    def __len__(self) -> int:
+        n = len(self.dataset)
+        if self.drop_last:
+            return n // self.batch_size
+        return (n + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        n = len(self.dataset)
+        order = self._rng.permutation(n) if self.shuffle else np.arange(n)
+        end = (n // self.batch_size) * self.batch_size if self.drop_last else n
+        for start in range(0, end, self.batch_size):
+            idx = order[start : start + self.batch_size]
+            yield self.dataset.images[idx], self.dataset.labels[idx]
+
+
+def train_test_split(dataset: Dataset, test_fraction: float = 0.2,
+                     seed: int | None = 0) -> tuple[Dataset, Dataset]:
+    """Random split of a dataset into train/test subsets."""
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError("test_fraction must be in (0, 1)")
+    rng = make_rng(seed)
+    n = len(dataset)
+    order = rng.permutation(n)
+    n_test = max(1, int(round(n * test_fraction)))
+    test_idx = order[:n_test]
+    train_idx = order[n_test:]
+    return dataset.subset(train_idx), dataset.subset(test_idx)

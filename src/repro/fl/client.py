@@ -1,0 +1,91 @@
+"""Federated learning client: local SGD on a private shard."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.datasets import Dataset
+from repro.data.loader import BatchLoader
+from repro.nn.loss import CrossEntropyLoss
+from repro.nn.module import Module
+from repro.nn.optim import SGD
+
+__all__ = ["FLClient", "ClientUpdate"]
+
+
+@dataclass
+class ClientUpdate:
+    """What a client hands back to the orchestrator after local training."""
+
+    client_id: int
+    state: dict[str, np.ndarray]
+    num_samples: int
+    train_seconds: float
+    train_loss: float
+    metadata: dict = field(default_factory=dict)
+
+
+class FLClient:
+    """One federated client with a local dataset and a private model replica."""
+
+    def __init__(self, client_id: int, model: Module, dataset: Dataset,
+                 batch_size: int = 32, lr: float = 0.05, momentum: float = 0.9,
+                 weight_decay: float = 0.0, seed: int | None = None) -> None:
+        self.client_id = int(client_id)
+        self.model = model
+        self.dataset = dataset
+        self.batch_size = int(batch_size)
+        self.lr = float(lr)
+        self.momentum = float(momentum)
+        self.weight_decay = float(weight_decay)
+        self.seed = seed if seed is not None else client_id
+        self.loss_fn = CrossEntropyLoss()
+
+    @property
+    def num_samples(self) -> int:
+        """Size of the client's local shard."""
+        return len(self.dataset)
+
+    def receive_global(self, state: dict[str, np.ndarray]) -> None:
+        """Load the server's global model into the local replica."""
+        self.model.load_state_dict(state)
+
+    def train_local(self, epochs: int = 1) -> ClientUpdate:
+        """Run ``epochs`` of local SGD and return the updated state dict."""
+        start = time.perf_counter()
+        self.model.train(True)
+        optimizer = SGD(self.model.parameters(), lr=self.lr, momentum=self.momentum,
+                        weight_decay=self.weight_decay)
+        loader = BatchLoader(self.dataset, batch_size=self.batch_size, shuffle=True,
+                             seed=self.seed)
+        last_loss = float("nan")
+        for _ in range(epochs):
+            for images, labels in loader:
+                logits = self.model(images)
+                last_loss = self.loss_fn(logits, labels)
+                self.model.zero_grad()
+                self.model.backward(self.loss_fn.backward())
+                optimizer.step()
+        elapsed = time.perf_counter() - start
+        return ClientUpdate(
+            client_id=self.client_id,
+            state=self.model.state_dict(),
+            num_samples=self.num_samples,
+            train_seconds=elapsed,
+            train_loss=float(last_loss),
+        )
+
+    def evaluate(self, dataset: Dataset | None = None, batch_size: int = 128) -> float:
+        """Top-1 accuracy of the local model on ``dataset`` (default: own shard)."""
+        dataset = dataset or self.dataset
+        self.model.train(False)
+        correct = 0
+        loader = BatchLoader(dataset, batch_size=batch_size, shuffle=False)
+        for images, labels in loader:
+            predictions = self.model(images).argmax(axis=1)
+            correct += int((predictions == labels).sum())
+        self.model.train(True)
+        return correct / max(len(dataset), 1)

@@ -1,0 +1,68 @@
+"""Update codecs: how a client ``state_dict`` becomes bytes on the wire.
+
+FedSZ is a "last step" in the communication pipeline (Section III-C of the
+paper): any serialization scheme can sit behind the same interface.  Two
+codecs are provided — :class:`RawUpdateCodec` (the uncompressed baseline, a
+plain packed-array serialization standing in for pickled tensors) and
+:class:`FedSZUpdateCodec` (the paper's contribution).
+"""
+
+from __future__ import annotations
+
+import abc
+from collections import OrderedDict
+
+import numpy as np
+
+from repro.core.config import FedSZConfig
+from repro.core.pipeline import FedSZCompressor, FedSZReport
+from repro.utils.serialization import pack_arrays, unpack_arrays
+
+__all__ = ["UpdateCodec", "RawUpdateCodec", "FedSZUpdateCodec"]
+
+
+class UpdateCodec(abc.ABC):
+    """Serialize/deserialize a model state dict for transmission."""
+
+    name: str = "base"
+
+    @abc.abstractmethod
+    def encode(self, state: dict[str, np.ndarray]) -> bytes:
+        """Turn a state dict into wire bytes."""
+
+    @abc.abstractmethod
+    def decode(self, payload: bytes) -> "OrderedDict[str, np.ndarray]":
+        """Recover a state dict from wire bytes."""
+
+
+class RawUpdateCodec(UpdateCodec):
+    """Uncompressed baseline: packed float32 tensors, no reduction."""
+
+    name = "uncompressed"
+
+    def encode(self, state: dict[str, np.ndarray]) -> bytes:
+        return pack_arrays(dict(state))
+
+    def decode(self, payload: bytes) -> "OrderedDict[str, np.ndarray]":
+        return OrderedDict(unpack_arrays(payload))
+
+
+class FedSZUpdateCodec(UpdateCodec):
+    """FedSZ compression of client updates (the paper's scheme)."""
+
+    name = "fedsz"
+
+    def __init__(self, config: FedSZConfig | None = None) -> None:
+        self.config = config or FedSZConfig()
+        self.compressor = FedSZCompressor(self.config)
+
+    def encode(self, state: dict[str, np.ndarray]) -> bytes:
+        return self.compressor.compress_state_dict(state)
+
+    def decode(self, payload: bytes) -> "OrderedDict[str, np.ndarray]":
+        return self.compressor.decompress_state_dict(payload)
+
+    @property
+    def last_report(self) -> FedSZReport | None:
+        """Compression statistics of the most recent :meth:`encode` call."""
+        return self.compressor.last_report

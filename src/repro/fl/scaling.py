@@ -1,0 +1,82 @@
+"""Weak- and strong-scaling models (Figure 9).
+
+The paper scales an MPI deployment from 2 to 128 cores on a cluster while
+throttling the network to 10 Mbps.  The reproduction models the same quantities
+analytically from measured per-client costs:
+
+* ``train_seconds`` — local training time of one client for one epoch,
+* ``encode_seconds`` / ``decode_seconds`` — codec runtime per update,
+* ``update_bytes`` — wire size of one update,
+* the server ingests all client updates over a single shared link of
+  ``bandwidth_mbps`` (this serialization is what makes the weak-scaling curve
+  grow with the client count, Figure 9a).
+
+Weak scaling assigns one client per core; strong scaling fixes the client count
+(127 in the paper) and divides the clients across the cores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.network import communication_time
+
+__all__ = ["ScalingResult", "simulate_weak_scaling", "simulate_strong_scaling", "scaling_speedups"]
+
+
+@dataclass
+class ScalingResult:
+    """Epoch time per client for one core count in a scaling sweep."""
+
+    cores: int
+    clients: int
+    epoch_seconds: float
+    compute_seconds: float
+    communication_seconds: float
+
+
+def scaling_speedups(results: list["ScalingResult"]) -> list[float]:
+    """Speedup of every sweep point relative to the first (smallest core count)."""
+    if not results:
+        return []
+    baseline = results[0].epoch_seconds
+    return [baseline / r.epoch_seconds if r.epoch_seconds else float("inf") for r in results]
+
+
+def _per_client_compute(train_seconds: float, encode_seconds: float,
+                        decode_seconds: float) -> float:
+    return train_seconds + encode_seconds + decode_seconds
+
+
+def simulate_weak_scaling(core_counts: list[int], train_seconds: float, encode_seconds: float,
+                          decode_seconds: float, update_bytes: float,
+                          bandwidth_mbps: float = 10.0) -> list[ScalingResult]:
+    """One client per core; the shared server link serializes all uploads."""
+    results: list[ScalingResult] = []
+    for cores in core_counts:
+        clients = cores
+        compute = _per_client_compute(train_seconds, encode_seconds, decode_seconds)
+        comm = clients * communication_time(update_bytes, bandwidth_mbps)
+        results.append(ScalingResult(cores=cores, clients=clients,
+                                     epoch_seconds=compute + comm,
+                                     compute_seconds=compute,
+                                     communication_seconds=comm))
+    return results
+
+
+def simulate_strong_scaling(core_counts: list[int], n_clients: int, train_seconds: float,
+                            encode_seconds: float, decode_seconds: float, update_bytes: float,
+                            bandwidth_mbps: float = 10.0) -> list[ScalingResult]:
+    """Fixed client population split across the cores (paper: 127 clients)."""
+    if n_clients < 1:
+        raise ValueError("n_clients must be >= 1")
+    results: list[ScalingResult] = []
+    for cores in core_counts:
+        clients_per_core = -(-n_clients // cores)  # ceiling division
+        compute = clients_per_core * _per_client_compute(train_seconds, encode_seconds, decode_seconds)
+        comm = n_clients * communication_time(update_bytes, bandwidth_mbps)
+        results.append(ScalingResult(cores=cores, clients=n_clients,
+                                     epoch_seconds=compute + comm,
+                                     compute_seconds=compute,
+                                     communication_seconds=comm))
+    return results

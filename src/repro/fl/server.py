@@ -1,0 +1,84 @@
+"""FedAvg server: weighted aggregation of client updates and global evaluation."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Sequence
+
+import numpy as np
+
+from repro.data.datasets import Dataset
+from repro.data.loader import BatchLoader
+from repro.nn.module import Module
+
+__all__ = ["fedavg_aggregate", "evaluate_model", "FedAvgServer"]
+
+
+def fedavg_aggregate(states: Sequence[dict[str, np.ndarray]],
+                     weights: Sequence[float] | None = None) -> "OrderedDict[str, np.ndarray]":
+    """Weighted average of client state dicts (McMahan et al.'s FedAvg).
+
+    All state dicts must share the same keys and shapes.  ``weights`` defaults
+    to uniform; they are normalized internally, so passing raw sample counts is
+    the standard usage.
+    """
+    if not states:
+        raise ValueError("need at least one client state to aggregate")
+    if weights is None:
+        weights = [1.0] * len(states)
+    if len(weights) != len(states):
+        raise ValueError("weights and states must have the same length")
+    weight_array = np.asarray(weights, dtype=np.float64)
+    if np.any(weight_array < 0) or weight_array.sum() <= 0:
+        raise ValueError("weights must be non-negative and not all zero")
+    weight_array = weight_array / weight_array.sum()
+
+    reference_keys = list(states[0].keys())
+    for state in states[1:]:
+        if list(state.keys()) != reference_keys:
+            raise ValueError("client state dicts have mismatched keys")
+
+    aggregated: "OrderedDict[str, np.ndarray]" = OrderedDict()
+    for key in reference_keys:
+        stacked = np.stack([np.asarray(state[key], dtype=np.float64) for state in states])
+        averaged = np.tensordot(weight_array, stacked, axes=(0, 0))
+        aggregated[key] = averaged.astype(states[0][key].dtype)
+    return aggregated
+
+
+def evaluate_model(model: Module, dataset: Dataset, batch_size: int = 128) -> float:
+    """Top-1 accuracy of ``model`` on ``dataset`` (evaluation mode)."""
+    model.train(False)
+    correct = 0
+    loader = BatchLoader(dataset, batch_size=batch_size, shuffle=False)
+    for images, labels in loader:
+        predictions = model(images).argmax(axis=1)
+        correct += int((predictions == labels).sum())
+    model.train(True)
+    return correct / max(len(dataset), 1)
+
+
+class FedAvgServer:
+    """Holds the global model and coordinates aggregation/validation."""
+
+    def __init__(self, model: Module, test_dataset: Dataset | None = None) -> None:
+        self.model = model
+        self.test_dataset = test_dataset
+
+    def global_state(self) -> "OrderedDict[str, np.ndarray]":
+        """Copy of the current global state dict."""
+        return self.model.state_dict()
+
+    def aggregate(self, states: Sequence[dict[str, np.ndarray]],
+                  weights: Sequence[float] | None = None) -> "OrderedDict[str, np.ndarray]":
+        """FedAvg the client states into the global model and return the new state."""
+        new_state = fedavg_aggregate(states, weights)
+        self.model.load_state_dict(new_state)
+        return new_state
+
+    def evaluate(self, dataset: Dataset | None = None, batch_size: int = 128) -> float:
+        """Top-1 accuracy of the global model on the held-out set."""
+        target = dataset or self.test_dataset
+        if target is None:
+            raise ValueError("no evaluation dataset configured")
+        return evaluate_model(self.model, target, batch_size=batch_size)

@@ -1,0 +1,181 @@
+"""Round-by-round federated simulation with pluggable update codecs.
+
+:class:`FederatedSimulation` orchestrates the full paper workflow:
+
+* partition a dataset over ``n_clients`` (IID by default, as in Section VI-B),
+* each round, broadcast the global state, run local SGD on every client,
+  encode each update through the configured :class:`UpdateCodec`, move it over
+  the :class:`NetworkModel`, decode at the server, FedAvg, and validate,
+* record a :class:`RoundRecord` with accuracy, byte counts, and the
+  train/compress/communicate time breakdown that Figures 4-7 report.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.network import NetworkModel
+from repro.data.datasets import Dataset
+from repro.data.partition import partition_dataset
+from repro.fl.client import FLClient
+from repro.fl.codec import FedSZUpdateCodec, RawUpdateCodec, UpdateCodec
+from repro.fl.server import FedAvgServer
+from repro.nn.module import Module
+
+__all__ = ["RoundRecord", "SimulationResult", "FederatedSimulation"]
+
+
+@dataclass
+class RoundRecord:
+    """Measurements of a single communication round."""
+
+    round_index: int
+    accuracy: float
+    mean_train_seconds: float
+    mean_encode_seconds: float
+    mean_decode_seconds: float
+    validation_seconds: float
+    uncompressed_bytes: int
+    transmitted_bytes: int
+    communication_seconds: float
+    client_losses: list[float] = field(default_factory=list)
+
+    @property
+    def compression_ratio(self) -> float:
+        """Aggregate upload compression ratio across all clients this round."""
+        return self.uncompressed_bytes / self.transmitted_bytes if self.transmitted_bytes else 1.0
+
+
+@dataclass
+class SimulationResult:
+    """All rounds of one federated run plus the configuration context."""
+
+    codec_name: str
+    rounds: list[RoundRecord] = field(default_factory=list)
+
+    @property
+    def final_accuracy(self) -> float:
+        """Validation accuracy after the last round (0.0 when no rounds ran)."""
+        return self.rounds[-1].accuracy if self.rounds else 0.0
+
+    @property
+    def accuracies(self) -> list[float]:
+        """Per-round validation accuracies (the Figure 4 series)."""
+        return [r.accuracy for r in self.rounds]
+
+    @property
+    def total_transmitted_bytes(self) -> int:
+        """Total client→server upload volume over the run."""
+        return sum(r.transmitted_bytes for r in self.rounds)
+
+    @property
+    def total_communication_seconds(self) -> float:
+        """Total modeled client→server transfer time over the run."""
+        return sum(r.communication_seconds for r in self.rounds)
+
+    @property
+    def mean_compression_ratio(self) -> float:
+        """Mean of the per-round aggregate compression ratios."""
+        if not self.rounds:
+            return 1.0
+        return float(np.mean([r.compression_ratio for r in self.rounds]))
+
+
+class FederatedSimulation:
+    """FedAvg over simulated clients with a configurable update codec."""
+
+    def __init__(self, model_factory, train_dataset: Dataset, test_dataset: Dataset,
+                 n_clients: int = 4, codec: UpdateCodec | None = None,
+                 network: NetworkModel | None = None, partition_scheme: str = "iid",
+                 dirichlet_alpha: float = 0.5, local_epochs: int = 1,
+                 batch_size: int = 32, lr: float = 0.05, momentum: float = 0.9,
+                 seed: int | None = 0) -> None:
+        self.model_factory = model_factory
+        self.codec = codec or RawUpdateCodec()
+        self.network = network or NetworkModel(bandwidth_mbps=10.0)
+        self.local_epochs = int(local_epochs)
+        self.test_dataset = test_dataset
+
+        shards = partition_dataset(train_dataset, n_clients, scheme=partition_scheme,
+                                   alpha=dirichlet_alpha, seed=seed)
+        self.clients = [
+            FLClient(client_id=i, model=model_factory(), dataset=shard,
+                     batch_size=batch_size, lr=lr, momentum=momentum, seed=(seed or 0) + i)
+            for i, shard in enumerate(shards)
+        ]
+        global_model: Module = model_factory()
+        self.server = FedAvgServer(global_model, test_dataset)
+
+    # ------------------------------------------------------------------
+    def run_round(self, round_index: int) -> RoundRecord:
+        """Execute one communication round and return its measurements."""
+        global_state = self.server.global_state()
+
+        train_times: list[float] = []
+        encode_times: list[float] = []
+        decode_times: list[float] = []
+        losses: list[float] = []
+        decoded_states: list[dict[str, np.ndarray]] = []
+        weights: list[float] = []
+        uncompressed_bytes = 0
+        transmitted_bytes = 0
+        communication_seconds = 0.0
+
+        raw_codec = RawUpdateCodec()
+        for client in self.clients:
+            client.receive_global(global_state)
+            update = client.train_local(epochs=self.local_epochs)
+            train_times.append(update.train_seconds)
+            losses.append(update.train_loss)
+
+            start = time.perf_counter()
+            payload = self.codec.encode(update.state)
+            encode_times.append(time.perf_counter() - start)
+
+            raw_size = len(raw_codec.encode(update.state))
+            uncompressed_bytes += raw_size
+            transmitted_bytes += len(payload)
+            communication_seconds += self.network.transfer(len(payload))
+
+            start = time.perf_counter()
+            decoded = self.codec.decode(payload)
+            decode_times.append(time.perf_counter() - start)
+            decoded_states.append(decoded)
+            weights.append(update.num_samples)
+
+        self.server.aggregate(decoded_states, weights)
+        start = time.perf_counter()
+        accuracy = self.server.evaluate()
+        validation_seconds = time.perf_counter() - start
+
+        return RoundRecord(
+            round_index=round_index,
+            accuracy=accuracy,
+            mean_train_seconds=float(np.mean(train_times)),
+            mean_encode_seconds=float(np.mean(encode_times)),
+            mean_decode_seconds=float(np.mean(decode_times)),
+            validation_seconds=validation_seconds,
+            uncompressed_bytes=uncompressed_bytes,
+            transmitted_bytes=transmitted_bytes,
+            communication_seconds=communication_seconds,
+            client_losses=losses,
+        )
+
+    def run(self, n_rounds: int = 10) -> SimulationResult:
+        """Run ``n_rounds`` communication rounds and collect the records."""
+        result = SimulationResult(codec_name=self.codec.name)
+        for round_index in range(n_rounds):
+            result.rounds.append(self.run_round(round_index))
+        return result
+
+
+def make_fedsz_simulation(model_factory, train_dataset: Dataset, test_dataset: Dataset,
+                          error_bound: float = 1e-2, **kwargs) -> FederatedSimulation:
+    """Convenience constructor wiring a FedSZ codec at the given error bound."""
+    from repro.core.config import FedSZConfig
+
+    codec = FedSZUpdateCodec(FedSZConfig(error_bound=error_bound))
+    return FederatedSimulation(model_factory, train_dataset, test_dataset, codec=codec, **kwargs)

@@ -1,0 +1,65 @@
+"""Minimal fixed-width table rendering for benchmark output.
+
+The benchmark harness regenerates the paper's tables and figure series as
+plain text (no plotting dependencies are available offline), so a small,
+dependency-free table formatter keeps that output readable and diffable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Table", "format_bound", "format_ratio", "format_seconds_cell"]
+
+
+@dataclass
+class Table:
+    """Accumulates rows and renders them with aligned columns."""
+
+    title: str
+    columns: list[str]
+    rows: list[list[str]] = field(default_factory=list)
+
+    def add_row(self, *cells: object) -> None:
+        """Append a row; cells are str()-converted."""
+        if len(cells) != len(self.columns):
+            raise ValueError(f"expected {len(self.columns)} cells, got {len(cells)}")
+        self.rows.append([str(c) for c in cells])
+
+    def render(self) -> str:
+        """Render the table as fixed-width text."""
+        widths = [len(col) for col in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        sep = "  "
+        lines = [self.title, "-" * len(self.title)]
+        lines.append(sep.join(col.ljust(widths[i]) for i, col in enumerate(self.columns)))
+        lines.append(sep.join("-" * widths[i] for i in range(len(self.columns))))
+        for row in self.rows:
+            lines.append(sep.join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+        return "\n".join(lines)
+
+    def print(self) -> None:
+        """Print the rendered table followed by a blank line."""
+        print(self.render())
+        print()
+
+
+def format_bound(bound: float) -> str:
+    """Render an error bound the way the paper writes it (e.g. ``1e-02``)."""
+    return f"{bound:.0e}"
+
+
+def format_ratio(ratio: float) -> str:
+    """Render a compression ratio with two decimals and a multiplication sign."""
+    return f"{ratio:.2f}x"
+
+
+def format_seconds_cell(seconds: float) -> str:
+    """Render a duration for a table cell."""
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.0f}us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.1f}ms"
+    return f"{seconds:.2f}s"

@@ -1,0 +1,105 @@
+"""Composite blocks used by the ResNet50 and MobileNetV2 architectures.
+
+Both blocks implement explicit backward passes that route the gradient through
+the residual branch and the shortcut and sum the two contributions, exactly as
+autograd would.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import BatchNorm2d, Conv2d, ReLU, ReLU6
+from repro.nn.module import Module, Sequential
+
+__all__ = ["Bottleneck", "InvertedResidual", "ConvBNReLU"]
+
+
+class ConvBNReLU(Sequential):
+    """Conv → BatchNorm → ReLU(6) unit, the workhorse of both architectures."""
+
+    def __init__(self, in_channels: int, out_channels: int, kernel_size: int = 3,
+                 stride: int = 1, groups: int = 1, relu6: bool = False,
+                 rng: np.random.Generator | None = None) -> None:
+        padding = (kernel_size - 1) // 2
+        super().__init__(
+            Conv2d(in_channels, out_channels, kernel_size, stride=stride, padding=padding,
+                   groups=groups, bias=False, rng=rng),
+            BatchNorm2d(out_channels),
+            ReLU6() if relu6 else ReLU(),
+        )
+
+
+class Bottleneck(Module):
+    """ResNet bottleneck: 1x1 reduce → 3x3 → 1x1 expand with identity shortcut."""
+
+    expansion = 4
+
+    def __init__(self, in_channels: int, mid_channels: int, stride: int = 1,
+                 rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        out_channels = mid_channels * self.expansion
+        self.conv1 = Conv2d(in_channels, mid_channels, 1, bias=False, rng=rng)
+        self.bn1 = BatchNorm2d(mid_channels)
+        self.relu1 = ReLU()
+        self.conv2 = Conv2d(mid_channels, mid_channels, 3, stride=stride, padding=1, bias=False, rng=rng)
+        self.bn2 = BatchNorm2d(mid_channels)
+        self.relu2 = ReLU()
+        self.conv3 = Conv2d(mid_channels, out_channels, 1, bias=False, rng=rng)
+        self.bn3 = BatchNorm2d(out_channels)
+        self.relu_out = ReLU()
+        if stride != 1 or in_channels != out_channels:
+            self.downsample: Sequential | None = Sequential(
+                Conv2d(in_channels, out_channels, 1, stride=stride, bias=False, rng=rng),
+                BatchNorm2d(out_channels),
+            )
+        else:
+            self.downsample = None
+        self.out_channels = out_channels
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        identity = self.downsample(x) if self.downsample is not None else x
+        out = self.relu1(self.bn1(self.conv1(x)))
+        out = self.relu2(self.bn2(self.conv2(out)))
+        out = self.bn3(self.conv3(out))
+        return self.relu_out(out + identity)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        grad = self.relu_out.backward(grad)
+        # the addition fans the gradient out to both branches unchanged
+        grad_branch = self.bn3.backward(grad)
+        grad_branch = self.conv3.backward(grad_branch)
+        grad_branch = self.relu2.backward(grad_branch)
+        grad_branch = self.bn2.backward(grad_branch)
+        grad_branch = self.conv2.backward(grad_branch)
+        grad_branch = self.relu1.backward(grad_branch)
+        grad_branch = self.bn1.backward(grad_branch)
+        grad_branch = self.conv1.backward(grad_branch)
+        grad_shortcut = self.downsample.backward(grad) if self.downsample is not None else grad
+        return grad_branch + grad_shortcut
+
+
+class InvertedResidual(Module):
+    """MobileNetV2 inverted residual: 1x1 expand → depthwise 3x3 → 1x1 project."""
+
+    def __init__(self, in_channels: int, out_channels: int, stride: int = 1,
+                 expand_ratio: int = 4, rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        hidden = in_channels * expand_ratio
+        self.use_residual = stride == 1 and in_channels == out_channels
+        layers: list[Module] = []
+        if expand_ratio != 1:
+            layers.append(ConvBNReLU(in_channels, hidden, kernel_size=1, relu6=True, rng=rng))
+        layers.append(ConvBNReLU(hidden, hidden, kernel_size=3, stride=stride, groups=hidden,
+                                 relu6=True, rng=rng))
+        layers.append(Conv2d(hidden, out_channels, 1, bias=False, rng=rng))
+        layers.append(BatchNorm2d(out_channels))
+        self.block = Sequential(*layers)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        out = self.block(x)
+        return out + x if self.use_residual else out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        grad_branch = self.block.backward(grad)
+        return grad_branch + grad if self.use_residual else grad_branch

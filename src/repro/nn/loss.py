@@ -1,0 +1,40 @@
+"""Loss functions."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.functional import log_softmax, one_hot, softmax
+
+__all__ = ["CrossEntropyLoss"]
+
+
+class CrossEntropyLoss:
+    """Softmax cross-entropy over integer class labels.
+
+    ``forward`` returns the mean loss; ``backward`` returns dL/dlogits so the
+    caller can feed it straight into ``model.backward``.
+    """
+
+    def __init__(self) -> None:
+        self._probs: np.ndarray | None = None
+        self._targets: np.ndarray | None = None
+
+    def forward(self, logits: np.ndarray, targets: np.ndarray) -> float:
+        targets = np.asarray(targets, dtype=np.int64).ravel()
+        if logits.shape[0] != targets.size:
+            raise ValueError("batch size mismatch between logits and targets")
+        logp = log_softmax(logits, axis=1)
+        self._probs = softmax(logits, axis=1)
+        self._targets = targets
+        return float(-logp[np.arange(targets.size), targets].mean())
+
+    def backward(self) -> np.ndarray:
+        if self._probs is None or self._targets is None:
+            raise RuntimeError("backward called before forward")
+        n, num_classes = self._probs.shape
+        grad = (self._probs - one_hot(self._targets, num_classes)) / n
+        return grad.astype(np.float64)
+
+    def __call__(self, logits: np.ndarray, targets: np.ndarray) -> float:
+        return self.forward(logits, targets)

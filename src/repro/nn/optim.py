@@ -1,0 +1,49 @@
+"""Optimizers.
+
+FedAvg performs local SGD on every client (Section VI-A of the paper), so SGD
+with optional momentum and weight decay is the only optimizer the reproduction
+needs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.parameter import Parameter
+
+__all__ = ["SGD"]
+
+
+class SGD:
+    """Stochastic gradient descent with momentum and L2 weight decay."""
+
+    def __init__(self, parameters: list[Parameter], lr: float = 0.01,
+                 momentum: float = 0.0, weight_decay: float = 0.0) -> None:
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must be in [0, 1)")
+        self.parameters = list(parameters)
+        self.lr = lr
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        """Apply one update to every parameter from its accumulated gradient."""
+        for param, velocity in zip(self.parameters, self._velocity):
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            if self.momentum:
+                velocity *= self.momentum
+                velocity += grad
+                update = velocity
+            else:
+                update = grad
+            param.data -= (self.lr * update).astype(np.float32)
+
+    def zero_grad(self) -> None:
+        """Reset every tracked parameter's gradient."""
+        for param in self.parameters:
+            param.zero_grad()

@@ -1,0 +1,40 @@
+"""Trainable parameter container."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Parameter"]
+
+
+class Parameter:
+    """A trainable array plus its accumulated gradient.
+
+    Stored as ``float32`` to match the precision FedSZ compresses (PyTorch's
+    default parameter dtype).
+    """
+
+    def __init__(self, data: np.ndarray) -> None:
+        self.data = np.asarray(data, dtype=np.float32)
+        self.grad = np.zeros_like(self.data)
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        """Shape of the underlying array."""
+        return self.data.shape
+
+    @property
+    def size(self) -> int:
+        """Number of elements."""
+        return int(self.data.size)
+
+    def zero_grad(self) -> None:
+        """Reset the accumulated gradient to zero in place."""
+        self.grad.fill(0.0)
+
+    def add_grad(self, grad: np.ndarray) -> None:
+        """Accumulate a gradient contribution (cast to float32)."""
+        self.grad += grad.astype(np.float32, copy=False)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Parameter(shape={self.data.shape}, dtype={self.data.dtype})"

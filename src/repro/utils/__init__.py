@@ -1,0 +1,31 @@
+"""Low-level utilities shared by the FedSZ reproduction.
+
+The subpackage provides bit-level I/O (:mod:`repro.utils.bitstream`), wall-clock
+timing helpers (:mod:`repro.utils.timer`), deterministic RNG construction
+(:mod:`repro.utils.rng`), and small serialization helpers used by the
+compression pipeline (:mod:`repro.utils.serialization`).
+"""
+
+from repro.utils.bitstream import BitReader, BitWriter
+from repro.utils.rng import make_rng, spawn_rngs
+from repro.utils.serialization import (
+    pack_arrays,
+    pack_bytes_dict,
+    unpack_arrays,
+    unpack_bytes_dict,
+)
+from repro.utils.timer import Timer, format_bytes, format_seconds
+
+__all__ = [
+    "BitReader",
+    "BitWriter",
+    "Timer",
+    "format_bytes",
+    "format_seconds",
+    "make_rng",
+    "spawn_rngs",
+    "pack_arrays",
+    "unpack_arrays",
+    "pack_bytes_dict",
+    "unpack_bytes_dict",
+]

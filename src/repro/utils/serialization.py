@@ -1,0 +1,113 @@
+"""Binary serialization of array dictionaries and byte dictionaries.
+
+The FedSZ pipeline ships a client update as a single bitstream.  The paper uses
+``pickle``; this reproduction uses an explicit, versioned, length-prefixed
+format instead so the layout is documented, deterministic, and safe to
+deserialize on the server side.
+
+Layout (all integers little-endian):
+
+``pack_bytes_dict``::
+
+    magic  b"FSZB"
+    u32    number of entries
+    per entry:
+        u32  key length, key bytes (utf-8)
+        u64  value length, value bytes
+
+``pack_arrays`` uses the same outer structure but each value is an array
+record: dtype string, ndim, shape, raw bytes.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+__all__ = ["pack_bytes_dict", "unpack_bytes_dict", "pack_arrays", "unpack_arrays"]
+
+_MAGIC_BYTES = b"FSZB"
+_MAGIC_ARRAYS = b"FSZA"
+
+
+def _pack_str(out: list[bytes], text: str) -> None:
+    raw = text.encode("utf-8")
+    out.append(struct.pack("<I", len(raw)))
+    out.append(raw)
+
+
+def _unpack_str(buf: memoryview, offset: int) -> tuple[str, int]:
+    (length,) = struct.unpack_from("<I", buf, offset)
+    offset += 4
+    text = bytes(buf[offset : offset + length]).decode("utf-8")
+    return text, offset + length
+
+
+def pack_bytes_dict(entries: dict[str, bytes]) -> bytes:
+    """Serialize a ``{name: bytes}`` mapping into a single buffer."""
+    out: list[bytes] = [_MAGIC_BYTES, struct.pack("<I", len(entries))]
+    for key, value in entries.items():
+        _pack_str(out, key)
+        out.append(struct.pack("<Q", len(value)))
+        out.append(bytes(value))
+    return b"".join(out)
+
+
+def unpack_bytes_dict(data: bytes) -> dict[str, bytes]:
+    """Inverse of :func:`pack_bytes_dict`."""
+    buf = memoryview(data)
+    if bytes(buf[:4]) != _MAGIC_BYTES:
+        raise ValueError("not a packed bytes dictionary (bad magic)")
+    (count,) = struct.unpack_from("<I", buf, 4)
+    offset = 8
+    result: dict[str, bytes] = {}
+    for _ in range(count):
+        key, offset = _unpack_str(buf, offset)
+        (length,) = struct.unpack_from("<Q", buf, offset)
+        offset += 8
+        result[key] = bytes(buf[offset : offset + length])
+        offset += length
+    return result
+
+
+def pack_arrays(arrays: dict[str, np.ndarray]) -> bytes:
+    """Serialize a ``{name: ndarray}`` mapping (dtype and shape preserved)."""
+    out: list[bytes] = [_MAGIC_ARRAYS, struct.pack("<I", len(arrays))]
+    for key, arr in arrays.items():
+        arr = np.asarray(arr)
+        if not arr.flags.c_contiguous:
+            # note: np.ascontiguousarray would promote 0-d arrays to 1-d,
+            # losing the shape; only copy when actually needed
+            arr = np.ascontiguousarray(arr)
+        _pack_str(out, key)
+        _pack_str(out, arr.dtype.str)
+        out.append(struct.pack("<I", arr.ndim))
+        out.append(struct.pack(f"<{arr.ndim}Q", *arr.shape) if arr.ndim else b"")
+        raw = arr.tobytes()
+        out.append(struct.pack("<Q", len(raw)))
+        out.append(raw)
+    return b"".join(out)
+
+
+def unpack_arrays(data: bytes) -> dict[str, np.ndarray]:
+    """Inverse of :func:`pack_arrays`."""
+    buf = memoryview(data)
+    if bytes(buf[:4]) != _MAGIC_ARRAYS:
+        raise ValueError("not a packed array dictionary (bad magic)")
+    (count,) = struct.unpack_from("<I", buf, 4)
+    offset = 8
+    result: dict[str, np.ndarray] = {}
+    for _ in range(count):
+        key, offset = _unpack_str(buf, offset)
+        dtype_str, offset = _unpack_str(buf, offset)
+        (ndim,) = struct.unpack_from("<I", buf, offset)
+        offset += 4
+        shape = struct.unpack_from(f"<{ndim}Q", buf, offset) if ndim else ()
+        offset += 8 * ndim
+        (length,) = struct.unpack_from("<Q", buf, offset)
+        offset += 8
+        raw = bytes(buf[offset : offset + length])
+        offset += length
+        result[key] = np.frombuffer(raw, dtype=np.dtype(dtype_str)).reshape(shape).copy()
+    return result

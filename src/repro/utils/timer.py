@@ -1,0 +1,66 @@
+"""Wall-clock timing helpers and human-readable formatting."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["Timer", "format_bytes", "format_seconds"]
+
+
+@dataclass
+class Timer:
+    """Context-manager stopwatch accumulating elapsed wall-clock seconds.
+
+    A single :class:`Timer` can be entered multiple times; ``elapsed`` is the
+    total across entries and ``laps`` records each individual interval, which
+    the benchmark harness uses to report per-round breakdowns.
+    """
+
+    elapsed: float = 0.0
+    laps: list[float] = field(default_factory=list)
+    _start: float | None = None
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        if self._start is None:
+            return
+        lap = time.perf_counter() - self._start
+        self.laps.append(lap)
+        self.elapsed += lap
+        self._start = None
+
+    def reset(self) -> None:
+        """Clear the accumulated time and lap history."""
+        self.elapsed = 0.0
+        self.laps.clear()
+        self._start = None
+
+    @property
+    def mean_lap(self) -> float:
+        """Mean duration of the recorded laps (0.0 when no laps exist)."""
+        return self.elapsed / len(self.laps) if self.laps else 0.0
+
+
+def format_bytes(num_bytes: float) -> str:
+    """Render a byte count as a short human-readable string (e.g. ``'1.5 MB'``)."""
+    value = float(num_bytes)
+    for unit in ("B", "KB", "MB", "GB", "TB"):
+        if abs(value) < 1024.0 or unit == "TB":
+            return f"{value:.2f} {unit}" if unit != "B" else f"{int(value)} B"
+        value /= 1024.0
+    return f"{value:.2f} TB"
+
+
+def format_seconds(seconds: float) -> str:
+    """Render a duration with a unit that keeps 2-4 significant digits."""
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f} us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.2f} ms"
+    if seconds < 120.0:
+        return f"{seconds:.2f} s"
+    return f"{seconds / 60.0:.2f} min"

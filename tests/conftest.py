@@ -1,0 +1,55 @@
+"""Shared fixtures for the FedSZ reproduction test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import make_dataset, train_test_split
+from repro.nn import build_model
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic RNG for test data."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def weight_like(rng: np.random.Generator) -> np.ndarray:
+    """Spiky float32 array with the statistics of trained model weights."""
+    data = rng.normal(0.0, 0.05, size=20_000)
+    spikes = rng.choice(20_000, size=200, replace=False)
+    data[spikes] += rng.normal(0.0, 0.5, size=200)
+    return data.astype(np.float32)
+
+
+@pytest.fixture
+def smooth_signal() -> np.ndarray:
+    """Smooth scientific-style signal (highly compressible)."""
+    x = np.linspace(0, 6 * np.pi, 8_192)
+    return (np.sin(x) + 0.3 * np.cos(3 * x)).astype(np.float32)
+
+
+@pytest.fixture
+def small_model():
+    """Small CNN whose state dict has both large weights and metadata."""
+    return build_model("simplecnn", num_classes=4, in_channels=3, image_size=16)
+
+
+@pytest.fixture
+def small_state(small_model):
+    """State dict of the small CNN."""
+    return small_model.state_dict()
+
+
+@pytest.fixture
+def tiny_dataset():
+    """Tiny synthetic CIFAR-like dataset (fast to train on)."""
+    return make_dataset("cifar10", n_samples=240, image_size=16, seed=7)
+
+
+@pytest.fixture
+def tiny_split(tiny_dataset):
+    """Train/test split of the tiny dataset."""
+    return train_test_split(tiny_dataset, test_fraction=0.25, seed=3)

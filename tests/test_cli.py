@@ -1,0 +1,65 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_compress_defaults(self):
+        args = build_parser().parse_args(["compress"])
+        assert args.command == "compress"
+        assert args.model == "alexnet"
+        assert args.bound == pytest.approx(1e-2)
+
+    def test_simulate_options(self):
+        args = build_parser().parse_args(["simulate", "--rounds", "3", "--clients", "2",
+                                          "--dataset", "fmnist"])
+        assert args.rounds == 3
+        assert args.clients == 2
+        assert args.dataset == "fmnist"
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["compress", "--model", "vgg"])
+
+    def test_select_bounds_list(self):
+        args = build_parser().parse_args(["select", "--bounds", "1e-2", "1e-4"])
+        assert args.bounds == [1e-2, 1e-4]
+
+
+class TestCommands:
+    def test_compress_command_output(self, capsys):
+        exit_code = main(["compress", "--model", "simplecnn", "--bound", "1e-2"])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "FedSZ bitstream" in out
+        assert "ratio" in out
+        assert "max abs error" in out
+
+    def test_compress_with_alternative_compressor(self, capsys):
+        exit_code = main(["compress", "--model", "mlp", "--compressor", "szx"])
+        assert exit_code == 0
+        assert "szx" in capsys.readouterr().out
+
+    def test_simulate_command_output(self, capsys):
+        exit_code = main(["simulate", "--model", "mlp", "--rounds", "2", "--clients", "2",
+                          "--samples", "120", "--image-size", "8"])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "final accuracy" in out
+        assert "upload volume" in out
+        assert "x reduction" in out
+
+    def test_select_command_output(self, capsys):
+        exit_code = main(["select", "--model", "simplecnn", "--bounds", "1e-2"])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "recommended:" in out
+        assert "Mbps" in out
+        for name in ("sz2", "sz3", "szx", "zfp"):
+            assert name in out

@@ -1,0 +1,90 @@
+"""Tests for the Eqn. (1) benefit model and the simulated network."""
+
+import time
+
+import pytest
+
+from repro.core import (
+    DeviceProfile,
+    NetworkModel,
+    communication_time,
+    compression_is_worthwhile,
+    crossover_bandwidth,
+)
+
+
+class TestCommunicationTime:
+    def test_basic_arithmetic(self):
+        # 10 MB over 10 Mbps = 8 seconds
+        assert communication_time(10e6, 10.0) == pytest.approx(8.0)
+
+    def test_latency_added(self):
+        assert communication_time(0, 10.0, latency_s=0.2) == pytest.approx(0.2)
+
+    def test_scales_inversely_with_bandwidth(self):
+        slow = communication_time(1e6, 10.0)
+        fast = communication_time(1e6, 1000.0)
+        assert slow / fast == pytest.approx(100.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            communication_time(1e6, 0.0)
+        with pytest.raises(ValueError):
+            communication_time(-1, 10.0)
+
+
+class TestBenefitCriterion:
+    def test_worthwhile_on_slow_network(self):
+        # 2.4 MB update, 10x compression, 1s overhead, 10 Mbps: clearly worth it
+        assert compression_is_worthwhile(0.5, 0.5, 2.4e6, 0.24e6, 10.0)
+
+    def test_not_worthwhile_on_fast_network(self):
+        # same costs on a 10 Gbps link: overhead dominates
+        assert not compression_is_worthwhile(0.5, 0.5, 2.4e6, 0.24e6, 10_000.0)
+
+    def test_crossover_bandwidth_separates_regimes(self):
+        crossover = crossover_bandwidth(0.5, 0.5, 2.4e6, 0.24e6)
+        assert compression_is_worthwhile(0.5, 0.5, 2.4e6, 0.24e6, crossover * 0.5)
+        assert not compression_is_worthwhile(0.5, 0.5, 2.4e6, 0.24e6, crossover * 2.0)
+
+    def test_crossover_paper_magnitude(self):
+        # AlexNet-like numbers from Table I: 230 MB update, 12x ratio, ~4 s
+        # compression + decompression on the edge device → crossover in the
+        # hundreds of Mbps (Figure 8 reports ~500 Mbps)
+        crossover = crossover_bandwidth(3.2, 1.0, 230e6, 230e6 / 12.61)
+        assert 100.0 < crossover < 2000.0
+
+    def test_zero_overhead_always_worthwhile(self):
+        assert crossover_bandwidth(0.0, 0.0, 1e6, 5e5) == float("inf")
+
+    def test_no_size_reduction_never_worthwhile(self):
+        assert crossover_bandwidth(0.1, 0.1, 1e6, 1e6) == 0.0
+        assert not compression_is_worthwhile(0.1, 0.1, 1e6, 1.2e6, 10.0)
+
+
+class TestNetworkModel:
+    def test_transfer_time_matches_formula(self):
+        net = NetworkModel(bandwidth_mbps=100.0, latency_s=0.01)
+        assert net.transfer_time(1e6) == pytest.approx(0.01 + 8e6 / 100e6)
+
+    def test_transfer_no_sleep_by_default(self):
+        net = NetworkModel(bandwidth_mbps=0.001)  # would be a very long sleep
+        start = time.perf_counter()
+        duration = net.transfer(1e6)
+        assert time.perf_counter() - start < 0.5
+        assert duration > 100  # modeled time is still large
+
+    def test_transfer_with_simulated_delay(self):
+        net = NetworkModel(bandwidth_mbps=1000.0, simulate_delay=True)
+        start = time.perf_counter()
+        net.transfer(2.5e6)  # 20 ms at 1 Gbps
+        assert time.perf_counter() - start >= 0.015
+
+
+class TestDeviceProfile:
+    def test_scaling(self):
+        profile = DeviceProfile(compute_factor=3.0)
+        assert profile.scale(2.0) == pytest.approx(6.0)
+
+    def test_default_is_raspberry_pi(self):
+        assert "pi" in DeviceProfile().name

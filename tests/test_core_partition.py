@@ -1,0 +1,100 @@
+"""Tests for Algorithm 1's state-dict partitioning."""
+
+import numpy as np
+import pytest
+
+from repro.core import FedSZConfig, lossy_fraction, partition_state_dict
+from repro.nn import build_model
+
+
+class TestPartitioning:
+    def test_large_weights_go_lossy(self, small_state):
+        partition = partition_state_dict(small_state, FedSZConfig(threshold=64))
+        assert any(name.endswith("weight") for name in partition.lossy)
+
+    def test_biases_and_buffers_stay_lossless(self):
+        state = build_model("resnet50").state_dict()
+        partition = partition_state_dict(state, FedSZConfig(threshold=1024))
+        for name in partition.lossy:
+            assert "weight" in name
+        assert any("running_mean" in name for name in partition.lossless)
+        assert any("bias" in name for name in partition.lossless)
+
+    def test_threshold_moves_small_weights_to_lossless(self, small_state):
+        tight = partition_state_dict(small_state, FedSZConfig(threshold=10**9))
+        assert not tight.lossy
+        loose = partition_state_dict(small_state, FedSZConfig(threshold=0))
+        assert len(loose.lossy) >= len(tight.lossy)
+
+    def test_partition_is_exhaustive_and_disjoint(self, small_state):
+        partition = partition_state_dict(small_state, FedSZConfig(threshold=128))
+        names = set(partition.lossy) | set(partition.lossless)
+        assert names == set(small_state)
+        assert not (set(partition.lossy) & set(partition.lossless))
+
+    def test_byte_accounting(self, small_state):
+        partition = partition_state_dict(small_state, FedSZConfig(threshold=128))
+        total = sum(np.asarray(v).nbytes for v in small_state.values())
+        assert partition.total_bytes == total
+        assert partition.lossy_bytes + partition.lossless_bytes == total
+
+    def test_integer_tensors_never_lossy(self):
+        state = {"counter.weight": np.arange(10_000, dtype=np.int64)}
+        partition = partition_state_dict(state, FedSZConfig(threshold=0))
+        assert not partition.lossy
+
+    def test_custom_name_tokens(self):
+        state = {"encoder.kernel": np.zeros(5000, dtype=np.float32),
+                 "encoder.weight": np.zeros(5000, dtype=np.float32)}
+        config = FedSZConfig(threshold=0, lossy_name_tokens=("kernel",))
+        partition = partition_state_dict(state, config)
+        assert "encoder.kernel" in partition.lossy
+        assert "encoder.weight" in partition.lossless
+
+    def test_empty_state(self):
+        partition = partition_state_dict({}, FedSZConfig())
+        assert partition.total_bytes == 0
+        assert partition.lossy_fraction == 0.0
+
+
+class TestLossyFraction:
+    def test_paper_ordering_of_lossy_fraction(self):
+        # Table III: AlexNet 99.98% > ResNet50 99.47% > MobileNetV2 96.94%
+        fractions = {
+            name: lossy_fraction(build_model(name).state_dict(), FedSZConfig(threshold=1024))
+            for name in ("alexnet", "resnet50", "mobilenetv2")
+        }
+        assert fractions["alexnet"] > fractions["resnet50"] > fractions["mobilenetv2"]
+        assert fractions["alexnet"] > 0.95
+        assert fractions["mobilenetv2"] > 0.5
+
+    def test_fraction_in_unit_interval(self, small_state):
+        value = lossy_fraction(small_state)
+        assert 0.0 <= value <= 1.0
+
+
+class TestConfig:
+    def test_default_matches_paper_recommendation(self):
+        config = FedSZConfig()
+        assert config.lossy_compressor == "sz2"
+        assert config.lossless_codec == "blosclz"
+        assert config.error_bound == pytest.approx(1e-2)
+        assert config.error_mode.value == "rel"
+
+    def test_invalid_error_bound(self):
+        with pytest.raises(ValueError):
+            FedSZConfig(error_bound=0.0)
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            FedSZConfig(threshold=-1)
+
+    def test_replace_returns_modified_copy(self):
+        config = FedSZConfig()
+        other = config.replace(error_bound=1e-3)
+        assert other.error_bound == 1e-3
+        assert config.error_bound == 1e-2
+
+    def test_error_mode_string_coerced(self):
+        config = FedSZConfig(error_mode="abs")
+        assert config.error_mode.value == "abs"

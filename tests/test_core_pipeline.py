@@ -1,0 +1,125 @@
+"""Tests for the end-to-end FedSZ compression pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core import FedSZCompressor, FedSZConfig
+from repro.nn import build_model
+
+
+@pytest.fixture
+def fedsz() -> FedSZCompressor:
+    return FedSZCompressor(FedSZConfig(error_bound=1e-2, threshold=256))
+
+
+class TestRoundtrip:
+    def test_keys_shapes_dtypes_preserved(self, fedsz, small_state):
+        recon = fedsz.decompress_state_dict(fedsz.compress_state_dict(small_state))
+        assert set(recon) == set(small_state)
+        for key in small_state:
+            assert recon[key].shape == small_state[key].shape
+            assert recon[key].dtype == small_state[key].dtype
+
+    def test_lossless_partition_bit_exact(self, fedsz, small_state):
+        partition = fedsz.partition(small_state)
+        recon = fedsz.decompress_state_dict(fedsz.compress_state_dict(small_state))
+        for name in partition.lossless:
+            np.testing.assert_array_equal(recon[name], small_state[name])
+
+    def test_lossy_partition_error_bounded(self, fedsz, small_state):
+        partition = fedsz.partition(small_state)
+        recon = fedsz.decompress_state_dict(fedsz.compress_state_dict(small_state))
+        for name in partition.lossy:
+            original = small_state[name].astype(np.float64)
+            bound = 1e-2 * (original.max() - original.min())
+            err = np.max(np.abs(recon[name].astype(np.float64) - original))
+            assert err <= bound * (1 + 1e-6) + 1e-9
+
+    def test_compression_reduces_size(self, fedsz):
+        state = build_model("alexnet").state_dict()
+        payload = fedsz.compress_state_dict(state)
+        original = sum(v.nbytes for v in state.values())
+        assert len(payload) < original / 2
+
+    def test_report_populated(self, fedsz, small_state):
+        _, report = fedsz.roundtrip(small_state)
+        assert report.original_bytes > 0
+        assert report.compressed_bytes > 0
+        assert report.ratio > 1.0
+        assert report.lossy_ratio >= 1.0
+        assert report.compress_seconds > 0
+        assert report.decompress_seconds > 0
+        assert report.throughput_mbps > 0
+
+    def test_empty_state_roundtrip(self, fedsz):
+        recon = fedsz.decompress_state_dict(fedsz.compress_state_dict({}))
+        assert recon == {}
+
+    def test_state_with_only_metadata(self, fedsz):
+        state = {"bn.running_mean": np.arange(8, dtype=np.float32),
+                 "bn.bias": np.ones(8, dtype=np.float32)}
+        recon = fedsz.decompress_state_dict(fedsz.compress_state_dict(state))
+        for key, value in state.items():
+            np.testing.assert_array_equal(recon[key], value)
+
+
+class TestConfigurationVariants:
+    @pytest.mark.parametrize("compressor", ["sz2", "sz3", "szx", "zfp"])
+    def test_every_eblc_works_in_pipeline(self, compressor, small_state):
+        fedsz = FedSZCompressor(FedSZConfig(lossy_compressor=compressor, error_bound=1e-2))
+        recon, report = fedsz.roundtrip(small_state)
+        assert set(recon) == set(small_state)
+        assert report.ratio > 1.0
+
+    @pytest.mark.parametrize("codec", ["blosclz", "zlib", "gzip", "zstd", "xz"])
+    def test_every_lossless_codec_works_in_pipeline(self, codec, small_state):
+        fedsz = FedSZCompressor(FedSZConfig(lossless_codec=codec))
+        recon, _ = fedsz.roundtrip(small_state)
+        assert set(recon) == set(small_state)
+
+    def test_larger_bound_better_ratio(self, small_state):
+        state = build_model("alexnet").state_dict()
+        loose = FedSZCompressor(FedSZConfig(error_bound=1e-1)).compress_state_dict(state)
+        tight = FedSZCompressor(FedSZConfig(error_bound=1e-4)).compress_state_dict(state)
+        assert len(loose) < len(tight)
+
+    def test_ratio_in_paper_band_for_alexnet_1e2(self):
+        # Table V reports 5.5-12.6x for REL 1e-2 across models/datasets; random
+        # initialized weights are less compressible than trained ones, so we
+        # accept anything comfortably above 3x.
+        state = build_model("alexnet").state_dict()
+        _, report = FedSZCompressor(FedSZConfig(error_bound=1e-2)).roundtrip(state)
+        assert report.ratio > 3.0
+
+    def test_corrupt_bitstream_rejected(self, fedsz, small_state):
+        payload = fedsz.compress_state_dict(small_state)
+        with pytest.raises(Exception):
+            fedsz.decompress_state_dict(b"garbage" + payload[7:])
+
+    def test_missing_manifest_rejected(self, fedsz):
+        from repro.utils.serialization import pack_bytes_dict
+        with pytest.raises(ValueError, match="manifest"):
+            fedsz.decompress_state_dict(pack_bytes_dict({"lossy::x": b"123"}))
+
+    def test_model_load_after_roundtrip(self, fedsz):
+        model = build_model("simplecnn", num_classes=4, image_size=16)
+        recon = fedsz.decompress_state_dict(fedsz.compress_state_dict(model.state_dict()))
+        model.load_state_dict(recon)  # must not raise
+        x = np.zeros((1, 3, 16, 16), dtype=np.float32)
+        assert model(x).shape == (1, 4)
+
+    def test_inference_accuracy_preserved_at_1e2(self, tiny_split):
+        # the paper's central accuracy claim, in miniature: predictions of a
+        # model restored from a FedSZ bitstream at REL 1e-2 match the original
+        # model on almost every sample
+        train, test = tiny_split
+        model = build_model("simplecnn", num_classes=10, image_size=16, seed=0)
+        fedsz = FedSZCompressor(FedSZConfig(error_bound=1e-2))
+        recon_state = fedsz.decompress_state_dict(fedsz.compress_state_dict(model.state_dict()))
+        restored = build_model("simplecnn", num_classes=10, image_size=16, seed=1)
+        restored.load_state_dict(recon_state)
+        model.eval(); restored.eval()
+        original_pred = model(test.images).argmax(axis=1)
+        restored_pred = restored(test.images).argmax(axis=1)
+        agreement = float((original_pred == restored_pred).mean())
+        assert agreement > 0.9

@@ -1,0 +1,75 @@
+"""Tests for the compressor- and error-bound-selection optimizers."""
+
+import numpy as np
+import pytest
+
+from repro.core import select_compressor, select_error_bound
+
+
+class TestSelectCompressor:
+    def test_returns_full_grid(self, weight_like):
+        best, grid = select_compressor(weight_like[:5000], candidates=("sz2", "szx"),
+                                       error_bounds=(1e-2, 1e-3))
+        assert len(grid) == 4
+        assert best in grid
+
+    def test_prediction_based_wins_on_ratio_weighting(self, weight_like):
+        # with runtime essentially ignored, the best-ratio compressor must win
+        best, _ = select_compressor(weight_like[:5000], candidates=("sz2", "szx", "zfp"),
+                                    error_bounds=(1e-2,), runtime_weight=0.0)
+        assert best.compressor in ("sz2", "sz3")
+
+    def test_feasibility_constraint_uses_bandwidth(self, weight_like):
+        # at an absurdly high bandwidth nothing is feasible (runtime > transfer
+        # time), and the selector falls back to the full pool without crashing
+        best, grid = select_compressor(weight_like[:2000], candidates=("sz2",),
+                                       error_bounds=(1e-2,), bandwidth_mbps=1e9)
+        assert not any(e.feasible for e in grid)
+        assert best.compressor == "sz2"
+
+    def test_empty_data_raises(self):
+        with pytest.raises(ValueError):
+            select_compressor(np.zeros(0))
+
+    def test_evaluations_record_bound_behaviour(self, weight_like):
+        _, grid = select_compressor(weight_like[:3000], candidates=("sz2",),
+                                    error_bounds=(1e-1, 1e-3))
+        by_bound = {e.error_bound: e for e in grid}
+        assert by_bound[1e-1].ratio > by_bound[1e-3].ratio
+        assert by_bound[1e-1].max_abs_error > by_bound[1e-3].max_abs_error
+
+    def test_runtime_property(self, weight_like):
+        _, grid = select_compressor(weight_like[:1000], candidates=("szx",), error_bounds=(1e-2,))
+        assert grid[0].runtime == pytest.approx(
+            grid[0].compress_seconds + grid[0].decompress_seconds)
+
+
+class TestSelectErrorBound:
+    def test_picks_largest_bound_within_tolerance(self):
+        # accuracy flat up to 1e-2, collapses at 1e-1 (the paper's Figure 5 shape)
+        accuracy = {1e-5: 0.80, 1e-4: 0.80, 1e-3: 0.795, 1e-2: 0.798, 1e-1: 0.35}
+        cost = {b: 1.0 / b for b in accuracy}  # bigger bound = cheaper
+        chosen = select_error_bound(lambda b: accuracy[b], lambda b: cost[b],
+                                    error_bounds=accuracy.keys(), tolerance=0.005)
+        assert chosen == pytest.approx(1e-2)
+
+    def test_falls_back_to_most_accurate_when_nothing_qualifies(self):
+        accuracy = {1e-3: 0.2, 1e-2: 0.5, 1e-1: 0.4}
+        chosen = select_error_bound(lambda b: accuracy[b], lambda b: 1.0,
+                                    error_bounds=accuracy.keys(),
+                                    baseline_accuracy=0.9, tolerance=0.01)
+        assert chosen == pytest.approx(1e-2)
+
+    def test_explicit_baseline_used(self):
+        accuracy = {1e-3: 0.70, 1e-2: 0.69}
+        chosen = select_error_bound(lambda b: accuracy[b], lambda b: 1.0 / b,
+                                    error_bounds=accuracy.keys(),
+                                    baseline_accuracy=0.70, tolerance=0.02)
+        assert chosen == pytest.approx(1e-2)
+
+    def test_empty_bounds_raise(self):
+        with pytest.raises(ValueError):
+            select_error_bound(lambda b: 1.0, lambda b: 1.0, error_bounds=())
+
+    def test_single_bound(self):
+        assert select_error_bound(lambda b: 0.5, lambda b: 1.0, error_bounds=(1e-2,)) == 1e-2

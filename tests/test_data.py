@@ -1,0 +1,207 @@
+"""Tests for the synthetic datasets, partitioning, loaders, and Figure 2 signals."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    BatchLoader,
+    available_datasets,
+    dataset_spec,
+    dirichlet_partition,
+    iid_partition,
+    make_dataset,
+    miranda_like_field,
+    partition_dataset,
+    spikiness,
+    train_test_split,
+    weight_like_signal,
+)
+
+
+class TestDatasetSpecs:
+    def test_paper_datasets_available(self):
+        assert set(available_datasets()) == {"caltech101", "cifar10", "fmnist"}
+
+    def test_table4_characteristics(self):
+        cifar = dataset_spec("cifar10")
+        assert (cifar.n_samples, cifar.image_size, cifar.in_channels, cifar.num_classes) == (60_000, 32, 3, 10)
+        fmnist = dataset_spec("fmnist")
+        assert (fmnist.n_samples, fmnist.image_size, fmnist.in_channels, fmnist.num_classes) == (70_000, 28, 1, 10)
+        caltech = dataset_spec("caltech101")
+        assert (caltech.n_samples, caltech.num_classes) == (9_000, 101)
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError):
+            dataset_spec("imagenet")
+
+    def test_input_dimension_property(self):
+        assert dataset_spec("fmnist").input_dimension == (1, 28, 28)
+
+
+class TestMakeDataset:
+    def test_shapes_and_dtypes(self):
+        ds = make_dataset("cifar10", n_samples=64)
+        assert ds.images.shape == (64, 3, 32, 32)
+        assert ds.images.dtype == np.float32
+        assert ds.labels.shape == (64,)
+        assert ds.labels.dtype == np.int64
+        assert ds.num_classes == 10
+
+    def test_fmnist_grayscale(self):
+        ds = make_dataset("fmnist", n_samples=16)
+        assert ds.images.shape == (16, 1, 28, 28)
+
+    def test_caltech_class_count(self):
+        ds = make_dataset("caltech101", n_samples=32, image_size=16)
+        assert ds.num_classes == 101
+        assert ds.images.shape[-1] == 16
+
+    def test_deterministic_for_seed(self):
+        a = make_dataset("cifar10", n_samples=8, seed=5)
+        b = make_dataset("cifar10", n_samples=8, seed=5)
+        np.testing.assert_array_equal(a.images, b.images)
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+    def test_labels_cover_multiple_classes(self):
+        ds = make_dataset("cifar10", n_samples=200, seed=0)
+        assert len(np.unique(ds.labels)) >= 8
+
+    def test_classes_are_separable(self):
+        # nearest-class-mean classification must beat chance by a wide margin,
+        # otherwise the FL accuracy experiments would be meaningless
+        ds = make_dataset("cifar10", n_samples=400, image_size=16, seed=1)
+        flat = ds.images.reshape(len(ds), -1)
+        means = np.stack([flat[ds.labels == c].mean(axis=0) for c in range(10)])
+        pred = np.argmin(((flat[:, None, :] - means[None]) ** 2).sum(axis=2), axis=1)
+        assert (pred == ds.labels).mean() > 0.5
+
+    def test_subset(self):
+        ds = make_dataset("cifar10", n_samples=32)
+        sub = ds.subset(np.array([0, 5, 9]))
+        assert len(sub) == 3
+        np.testing.assert_array_equal(sub.labels, ds.labels[[0, 5, 9]])
+
+    def test_input_shape_property(self):
+        ds = make_dataset("fmnist", n_samples=4)
+        assert ds.input_shape == (1, 28, 28)
+
+
+class TestPartitioning:
+    def test_iid_covers_all_indices(self):
+        shards = iid_partition(103, 4, seed=0)
+        combined = np.concatenate(shards)
+        assert sorted(combined.tolist()) == list(range(103))
+
+    def test_iid_balanced_sizes(self):
+        shards = iid_partition(100, 4, seed=0)
+        assert all(len(s) == 25 for s in shards)
+
+    def test_iid_validation(self):
+        with pytest.raises(ValueError):
+            iid_partition(3, 0)
+        with pytest.raises(ValueError):
+            iid_partition(2, 5)
+
+    def test_dirichlet_covers_all_indices(self):
+        labels = np.random.default_rng(0).integers(0, 10, 500)
+        shards = dirichlet_partition(labels, 5, alpha=0.5, seed=0)
+        assert sorted(np.concatenate(shards).tolist()) == list(range(500))
+
+    def test_dirichlet_more_skewed_with_small_alpha(self):
+        labels = np.random.default_rng(1).integers(0, 10, 2000)
+
+        def skew(alpha: float) -> float:
+            shards = dirichlet_partition(labels, 4, alpha=alpha, seed=3)
+            per_client = []
+            for shard in shards:
+                hist = np.bincount(labels[shard], minlength=10) / max(len(shard), 1)
+                per_client.append(hist.max())
+            return float(np.mean(per_client))
+
+        assert skew(0.1) > skew(100.0)
+
+    def test_dirichlet_validation(self):
+        with pytest.raises(ValueError):
+            dirichlet_partition(np.zeros(10, dtype=int), 2, alpha=0.0)
+
+    def test_partition_dataset_iid(self):
+        ds = make_dataset("cifar10", n_samples=40)
+        shards = partition_dataset(ds, 4, scheme="iid")
+        assert len(shards) == 4
+        assert sum(len(s) for s in shards) == 40
+
+    def test_partition_dataset_unknown_scheme(self):
+        ds = make_dataset("cifar10", n_samples=16)
+        with pytest.raises(ValueError):
+            partition_dataset(ds, 2, scheme="by-zodiac-sign")
+
+
+class TestLoader:
+    def test_batches_cover_dataset(self):
+        ds = make_dataset("cifar10", n_samples=50)
+        loader = BatchLoader(ds, batch_size=16, shuffle=False)
+        total = sum(len(labels) for _, labels in loader)
+        assert total == 50
+        assert len(loader) == 4
+
+    def test_drop_last(self):
+        ds = make_dataset("cifar10", n_samples=50)
+        loader = BatchLoader(ds, batch_size=16, drop_last=True)
+        assert len(loader) == 3
+        assert sum(len(labels) for _, labels in loader) == 48
+
+    def test_shuffle_changes_order(self):
+        ds = make_dataset("cifar10", n_samples=64)
+        loader = BatchLoader(ds, batch_size=64, shuffle=True, seed=0)
+        first_epoch = next(iter(loader))[1]
+        second_epoch = next(iter(loader))[1]
+        assert not np.array_equal(first_epoch, second_epoch)
+
+    def test_invalid_batch_size(self):
+        ds = make_dataset("cifar10", n_samples=8)
+        with pytest.raises(ValueError):
+            BatchLoader(ds, batch_size=0)
+
+    def test_train_test_split_disjoint_and_complete(self):
+        ds = make_dataset("cifar10", n_samples=60)
+        train, test = train_test_split(ds, test_fraction=0.25, seed=1)
+        assert len(train) + len(test) == 60
+        assert len(test) == 15
+
+    def test_train_test_split_validation(self):
+        ds = make_dataset("cifar10", n_samples=10)
+        with pytest.raises(ValueError):
+            train_test_split(ds, test_fraction=0.0)
+
+
+class TestScientificSignals:
+    def test_miranda_field_smoothness(self):
+        field = miranda_like_field(512, seed=0)
+        weights = weight_like_signal(512, seed=0)
+        assert spikiness(field) < spikiness(weights)
+
+    def test_density_positive(self):
+        assert miranda_like_field(256, kind="density").min() > 0
+
+    def test_velocity_signed(self):
+        field = miranda_like_field(256, kind="velocity", seed=1)
+        assert field.min() < 0 < field.max()
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ValueError):
+            miranda_like_field(64, kind="pressure")
+
+    def test_weight_signal_statistics(self):
+        sig = weight_like_signal(10_000, scale=0.05, seed=0)
+        assert abs(float(np.median(sig))) < 0.01
+        assert float(np.abs(sig).max()) > 0.2  # heavy tail present
+
+    def test_spikiness_edge_cases(self):
+        assert spikiness(np.zeros(10)) == 0.0
+        assert spikiness(np.array([1.0])) == 0.0
+        with np.errstate(all="ignore"):
+            assert spikiness(np.array([0.0, 1.0, 0.0, 1.0])) > 0.5
+
+    def test_field_length_validation(self):
+        with pytest.raises(ValueError):
+            miranda_like_field(1)

@@ -1,0 +1,72 @@
+"""Tests for the weak/strong scaling models (Figure 9)."""
+
+import pytest
+
+from repro.fl import (
+    scaling_speedups,
+    simulate_strong_scaling,
+    simulate_weak_scaling,
+)
+
+CORES = [2, 4, 8, 16, 32, 64, 128]
+# FedSZ-like per-client costs: 2.4 MB update compressed ~6x, 1 s training
+FEDSZ = dict(train_seconds=1.0, encode_seconds=0.2, decode_seconds=0.1, update_bytes=0.4e6)
+RAW = dict(train_seconds=1.0, encode_seconds=0.0, decode_seconds=0.0, update_bytes=2.4e6)
+
+
+class TestWeakScaling:
+    def test_epoch_time_grows_with_clients(self):
+        results = simulate_weak_scaling(CORES, **FEDSZ, bandwidth_mbps=10.0)
+        times = [r.epoch_seconds for r in results]
+        assert times == sorted(times)
+        assert results[-1].clients == 128
+
+    def test_fedsz_beats_uncompressed_at_10mbps(self):
+        fedsz = simulate_weak_scaling(CORES, **FEDSZ, bandwidth_mbps=10.0)
+        raw = simulate_weak_scaling(CORES, **RAW, bandwidth_mbps=10.0)
+        for f, r in zip(fedsz, raw):
+            assert f.epoch_seconds < r.epoch_seconds
+
+    def test_communication_dominates_at_scale(self):
+        results = simulate_weak_scaling(CORES, **RAW, bandwidth_mbps=10.0)
+        last = results[-1]
+        assert last.communication_seconds > last.compute_seconds
+
+    def test_compute_constant_across_sweep(self):
+        results = simulate_weak_scaling(CORES, **FEDSZ, bandwidth_mbps=10.0)
+        assert len({round(r.compute_seconds, 9) for r in results}) == 1
+
+
+class TestStrongScaling:
+    def test_epoch_time_decreases_with_cores(self):
+        results = simulate_strong_scaling(CORES, n_clients=127, **FEDSZ, bandwidth_mbps=10.0)
+        times = [r.epoch_seconds for r in results]
+        assert times == sorted(times, reverse=True)
+
+    def test_speedup_grows_then_saturates(self):
+        results = simulate_strong_scaling(CORES, n_clients=127, **FEDSZ, bandwidth_mbps=10.0)
+        speedups = scaling_speedups(results)
+        assert speedups[0] == pytest.approx(1.0)
+        assert speedups[-1] > 1.5
+        # saturation: far from ideal 64x because the shared link serializes uploads
+        assert speedups[-1] < 64
+
+    def test_clients_fixed(self):
+        results = simulate_strong_scaling(CORES, n_clients=127, **FEDSZ)
+        assert all(r.clients == 127 for r in results)
+
+    def test_invalid_client_count(self):
+        with pytest.raises(ValueError):
+            simulate_strong_scaling(CORES, n_clients=0, **FEDSZ)
+
+    def test_fedsz_speedup_at_least_uncompressed(self):
+        # compression shrinks the serialized communication term, so FedSZ's
+        # strong-scaling curve saturates later (higher achievable speedup)
+        fedsz = scaling_speedups(simulate_strong_scaling(CORES, n_clients=127, **FEDSZ))
+        raw = scaling_speedups(simulate_strong_scaling(CORES, n_clients=127, **RAW))
+        assert fedsz[-1] >= raw[-1]
+
+
+class TestSpeedups:
+    def test_empty_results(self):
+        assert scaling_speedups([]) == []

@@ -1,0 +1,91 @@
+"""Tests for FedAvg aggregation and server behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.data import make_dataset
+from repro.fl import FedAvgServer, evaluate_model, fedavg_aggregate
+from repro.nn import build_model
+
+
+def _states(values):
+    return [{"layer.weight": np.full((2, 2), v, dtype=np.float32),
+             "layer.bias": np.full(2, v, dtype=np.float32)} for v in values]
+
+
+class TestFedAvgAggregate:
+    def test_uniform_average(self):
+        out = fedavg_aggregate(_states([1.0, 3.0]))
+        np.testing.assert_allclose(out["layer.weight"], 2.0)
+
+    def test_weighted_average_by_samples(self):
+        out = fedavg_aggregate(_states([0.0, 4.0]), weights=[3, 1])
+        np.testing.assert_allclose(out["layer.weight"], 1.0)
+
+    def test_single_client_identity(self):
+        state = _states([7.0])[0]
+        out = fedavg_aggregate([state])
+        np.testing.assert_allclose(out["layer.weight"], state["layer.weight"])
+
+    def test_preserves_dtype_and_keys(self):
+        out = fedavg_aggregate(_states([1.0, 2.0, 3.0]))
+        assert set(out) == {"layer.weight", "layer.bias"}
+        assert out["layer.weight"].dtype == np.float32
+
+    def test_weights_normalized(self):
+        a = fedavg_aggregate(_states([0.0, 2.0]), weights=[1, 1])
+        b = fedavg_aggregate(_states([0.0, 2.0]), weights=[100, 100])
+        np.testing.assert_allclose(a["layer.weight"], b["layer.weight"])
+
+    def test_mismatched_keys_rejected(self):
+        states = _states([1.0, 2.0])
+        del states[1]["layer.bias"]
+        with pytest.raises(ValueError):
+            fedavg_aggregate(states)
+
+    def test_empty_states_rejected(self):
+        with pytest.raises(ValueError):
+            fedavg_aggregate([])
+
+    def test_invalid_weights_rejected(self):
+        with pytest.raises(ValueError):
+            fedavg_aggregate(_states([1.0, 2.0]), weights=[1])
+        with pytest.raises(ValueError):
+            fedavg_aggregate(_states([1.0, 2.0]), weights=[0, 0])
+        with pytest.raises(ValueError):
+            fedavg_aggregate(_states([1.0, 2.0]), weights=[-1, 2])
+
+    def test_aggregating_identical_states_is_identity(self):
+        state = build_model("simplecnn", image_size=16).state_dict()
+        out = fedavg_aggregate([state, state, state], weights=[1, 2, 3])
+        for key in state:
+            np.testing.assert_allclose(out[key], state[key], atol=1e-6)
+
+
+class TestServer:
+    def test_aggregate_updates_global_model(self):
+        model = build_model("mlp", num_classes=4, image_size=8)
+        server = FedAvgServer(model)
+        new_state = {k: v + 1.0 for k, v in model.state_dict().items()}
+        server.aggregate([new_state])
+        np.testing.assert_allclose(server.global_state()["net.1.weight"],
+                                   new_state["net.1.weight"])
+
+    def test_evaluate_requires_dataset(self):
+        server = FedAvgServer(build_model("mlp", num_classes=4, image_size=8))
+        with pytest.raises(ValueError):
+            server.evaluate()
+
+    def test_evaluate_accuracy_in_unit_interval(self):
+        ds = make_dataset("cifar10", n_samples=40, image_size=8)
+        model = build_model("mlp", num_classes=10, image_size=8)
+        server = FedAvgServer(model, test_dataset=ds)
+        acc = server.evaluate()
+        assert 0.0 <= acc <= 1.0
+
+    def test_evaluate_model_function(self):
+        ds = make_dataset("cifar10", n_samples=30, image_size=8)
+        model = build_model("mlp", num_classes=10, image_size=8)
+        acc = evaluate_model(model, ds)
+        assert 0.0 <= acc <= 1.0
+        assert model.training  # evaluation restores training mode

@@ -1,0 +1,85 @@
+"""Tests for the canonical Huffman coder."""
+
+import numpy as np
+import pytest
+
+from repro.compressors.huffman import MAX_CODE_LENGTH, HuffmanCoder
+
+
+@pytest.fixture
+def coder() -> HuffmanCoder:
+    return HuffmanCoder()
+
+
+class TestRoundtrip:
+    def test_simple_sequence(self, coder):
+        symbols = np.array([0, 1, 1, 2, 2, 2, 3, 3, 3, 3], dtype=np.int64)
+        np.testing.assert_array_equal(coder.decode(coder.encode(symbols)), symbols)
+
+    def test_single_symbol_alphabet(self, coder):
+        symbols = np.full(1000, 7, dtype=np.int64)
+        decoded = coder.decode(coder.encode(symbols))
+        np.testing.assert_array_equal(decoded, symbols)
+
+    def test_two_symbols(self, coder):
+        symbols = np.array([0, 1] * 50, dtype=np.int64)
+        np.testing.assert_array_equal(coder.decode(coder.encode(symbols)), symbols)
+
+    def test_empty_input(self, coder):
+        out = coder.decode(coder.encode(np.array([], dtype=np.int64)))
+        assert out.size == 0
+
+    def test_skewed_distribution(self, coder):
+        rng = np.random.default_rng(0)
+        symbols = rng.geometric(0.3, size=5000) - 1
+        np.testing.assert_array_equal(coder.decode(coder.encode(symbols)), symbols)
+
+    def test_uniform_large_alphabet(self, coder):
+        rng = np.random.default_rng(1)
+        symbols = rng.integers(0, 500, size=3000)
+        np.testing.assert_array_equal(coder.decode(coder.encode(symbols)), symbols)
+
+    def test_quantization_like_stream(self, coder):
+        # the typical SZ stream: one dominant central symbol, a spread around it
+        rng = np.random.default_rng(2)
+        symbols = np.clip(np.rint(rng.normal(1000, 3, size=20000)), 0, 2000).astype(np.int64)
+        np.testing.assert_array_equal(coder.decode(coder.encode(symbols)), symbols)
+
+    def test_sparse_alphabet_with_gaps(self, coder):
+        symbols = np.array([0, 1000, 0, 1000, 5, 0, 1000], dtype=np.int64)
+        np.testing.assert_array_equal(coder.decode(coder.encode(symbols)), symbols)
+
+    def test_various_integer_dtypes(self, coder):
+        for dtype in (np.int16, np.int32, np.uint16, np.int64):
+            symbols = np.arange(50, dtype=dtype)
+            np.testing.assert_array_equal(coder.decode(coder.encode(symbols)), symbols.astype(np.int64))
+
+
+class TestCompression:
+    def test_skewed_data_compresses_well(self, coder):
+        rng = np.random.default_rng(3)
+        symbols = np.where(rng.random(50_000) < 0.95, 10, rng.integers(0, 20, 50_000))
+        encoded = coder.encode(symbols)
+        # ~0.5 bits/symbol entropy; int64 raw would be 400 KB
+        assert len(encoded) < 50_000 * 2 / 8 + 1000
+
+    def test_negative_symbols_rejected(self, coder):
+        with pytest.raises(ValueError):
+            coder.encode(np.array([1, -2, 3]))
+
+    def test_code_lengths_bounded(self, coder):
+        # extremely skewed frequencies would build very deep trees without clamping
+        rng = np.random.default_rng(4)
+        counts = (2 ** np.arange(24)).astype(np.int64)
+        symbols = np.repeat(np.arange(24), np.minimum(counts, 5000))
+        rng.shuffle(symbols)
+        decoded = coder.decode(coder.encode(symbols))
+        np.testing.assert_array_equal(np.sort(decoded), np.sort(symbols))
+
+    def test_decode_with_table_alias(self, coder):
+        symbols = np.array([1, 2, 3, 1, 2, 1], dtype=np.int64)
+        payload = coder.encode(symbols)
+        np.testing.assert_array_equal(coder.decode_with_table(payload), symbols)
+
+    def test_max_code_length_constant(self):
+        assert 8 <= MAX_CODE_LENGTH <= 24

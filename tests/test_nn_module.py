@@ -1,0 +1,216 @@
+"""Tests for the Module tree, state_dict semantics, and the optimizer/loss."""
+
+import numpy as np
+import pytest
+
+from repro.nn import CrossEntropyLoss, Linear, ReLU, SGD, Sequential
+from repro.nn.layers import BatchNorm2d, Conv2d
+from repro.nn.module import Module
+from repro.nn.parameter import Parameter
+
+
+class TinyNet(Module):
+    def __init__(self):
+        super().__init__()
+        self.fc1 = Linear(4, 8, rng=np.random.default_rng(0))
+        self.act = ReLU()
+        self.fc2 = Linear(8, 2, rng=np.random.default_rng(1))
+
+    def forward(self, x):
+        return self.fc2(self.act(self.fc1(x)))
+
+    def backward(self, grad):
+        return self.fc1.backward(self.act.backward(self.fc2.backward(grad)))
+
+
+class TestStateDict:
+    def test_names_are_dotted_paths(self):
+        net = TinyNet()
+        names = set(net.state_dict())
+        assert {"fc1.weight", "fc1.bias", "fc2.weight", "fc2.bias"} == names
+
+    def test_weight_token_present_for_partitioning(self):
+        # Algorithm 1 partitions on the substring "weight" in the key
+        net = TinyNet()
+        assert any("weight" in name for name in net.state_dict())
+
+    def test_state_dict_returns_copies(self):
+        net = TinyNet()
+        state = net.state_dict()
+        state["fc1.weight"][:] = 0.0
+        assert not np.allclose(net.fc1.weight.data, 0.0)
+
+    def test_load_state_dict_roundtrip(self):
+        net1, net2 = TinyNet(), TinyNet()
+        net2.fc1.weight.data += 1.0
+        net2.load_state_dict(net1.state_dict())
+        np.testing.assert_array_equal(net1.fc1.weight.data, net2.fc1.weight.data)
+
+    def test_load_state_dict_strict_missing_key(self):
+        net = TinyNet()
+        state = net.state_dict()
+        del state["fc2.bias"]
+        with pytest.raises(KeyError):
+            net.load_state_dict(state)
+
+    def test_load_state_dict_strict_unexpected_key(self):
+        net = TinyNet()
+        state = net.state_dict()
+        state["bogus"] = np.zeros(3, dtype=np.float32)
+        with pytest.raises(KeyError):
+            net.load_state_dict(state)
+        net.load_state_dict(state, strict=False)  # tolerated when not strict
+
+    def test_load_state_dict_shape_mismatch(self):
+        net = TinyNet()
+        state = net.state_dict()
+        state["fc1.weight"] = np.zeros((3, 3), dtype=np.float32)
+        with pytest.raises(ValueError):
+            net.load_state_dict(state)
+
+    def test_buffers_included_for_batchnorm(self):
+        net = Sequential(Conv2d(1, 2, 3, padding=1), BatchNorm2d(2))
+        state = net.state_dict()
+        assert "1.running_mean" in state
+        assert "1.running_var" in state
+
+    def test_load_resets_gradients(self):
+        net = TinyNet()
+        net.fc1.weight.grad += 5.0
+        net.load_state_dict(net.state_dict())
+        assert np.allclose(net.fc1.weight.grad, 0.0)
+
+
+class TestModuleTraversal:
+    def test_named_parameters_count(self):
+        net = TinyNet()
+        assert len(list(net.named_parameters())) == 4
+
+    def test_parameters_list(self):
+        net = TinyNet()
+        assert all(isinstance(p, Parameter) for p in net.parameters())
+
+    def test_named_modules_includes_self_and_children(self):
+        net = TinyNet()
+        names = [name for name, _ in net.named_modules()]
+        assert "" in names and "fc1" in names and "fc2" in names
+
+    def test_train_eval_propagates(self):
+        net = Sequential(Conv2d(1, 2, 3), BatchNorm2d(2))
+        net.eval()
+        assert all(not m.training for m in net.modules())
+        net.train()
+        assert all(m.training for m in net.modules())
+
+    def test_zero_grad_clears_all(self):
+        net = TinyNet()
+        for p in net.parameters():
+            p.grad += 1.0
+        net.zero_grad()
+        assert all(np.allclose(p.grad, 0.0) for p in net.parameters())
+
+    def test_sequential_indexing(self):
+        net = Sequential(Linear(2, 2), ReLU())
+        assert len(net) == 2
+        assert isinstance(net[1], ReLU)
+
+    def test_sequential_append(self):
+        net = Sequential(Linear(2, 2))
+        net.append(ReLU())
+        assert len(net) == 2
+        assert "1" in dict(net.named_modules())
+
+
+class TestLossAndOptimizer:
+    def test_cross_entropy_uniform_logits(self):
+        loss_fn = CrossEntropyLoss()
+        logits = np.zeros((4, 10))
+        loss = loss_fn(logits, np.array([0, 1, 2, 3]))
+        assert loss == pytest.approx(np.log(10), rel=1e-6)
+
+    def test_cross_entropy_perfect_prediction_low_loss(self):
+        loss_fn = CrossEntropyLoss()
+        logits = np.full((2, 3), -20.0)
+        logits[0, 1] = 20.0
+        logits[1, 2] = 20.0
+        assert loss_fn(logits, np.array([1, 2])) < 1e-6
+
+    def test_cross_entropy_gradient_sums_to_zero_per_row(self):
+        loss_fn = CrossEntropyLoss()
+        logits = np.random.default_rng(0).standard_normal((5, 7))
+        loss_fn(logits, np.arange(5))
+        grad = loss_fn.backward()
+        np.testing.assert_allclose(grad.sum(axis=1), 0.0, atol=1e-10)
+
+    def test_cross_entropy_gradient_numerical(self):
+        rng = np.random.default_rng(1)
+        logits = rng.standard_normal((3, 4))
+        targets = np.array([1, 0, 3])
+        loss_fn = CrossEntropyLoss()
+        loss_fn(logits, targets)
+        analytic = loss_fn.backward()
+        eps = 1e-6
+        numeric = np.zeros_like(logits)
+        for i in range(3):
+            for j in range(4):
+                plus = logits.copy(); plus[i, j] += eps
+                minus = logits.copy(); minus[i, j] -= eps
+                numeric[i, j] = (CrossEntropyLoss()(plus, targets) - CrossEntropyLoss()(minus, targets)) / (2 * eps)
+        np.testing.assert_allclose(analytic, numeric, rtol=1e-4, atol=1e-7)
+
+    def test_batch_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            CrossEntropyLoss()(np.zeros((3, 2)), np.zeros(4))
+
+    def test_sgd_moves_against_gradient(self):
+        param = Parameter(np.array([1.0, 2.0], dtype=np.float32))
+        param.grad[:] = [0.5, -0.5]
+        SGD([param], lr=0.1).step()
+        np.testing.assert_allclose(param.data, [0.95, 2.05])
+
+    def test_sgd_momentum_accumulates(self):
+        param = Parameter(np.zeros(1, dtype=np.float32))
+        opt = SGD([param], lr=1.0, momentum=0.9)
+        param.grad[:] = 1.0
+        opt.step()
+        first = float(param.data[0])
+        param.grad[:] = 1.0
+        opt.step()
+        second_step = float(param.data[0]) - first
+        assert second_step < -1.0  # momentum makes the second step larger
+
+    def test_sgd_weight_decay_shrinks_weights(self):
+        param = Parameter(np.array([10.0], dtype=np.float32))
+        param.grad[:] = 0.0
+        SGD([param], lr=0.1, weight_decay=0.5).step()
+        assert float(param.data[0]) < 10.0
+
+    def test_sgd_validation(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.0)
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1, momentum=1.0)
+
+    def test_sgd_zero_grad(self):
+        param = Parameter(np.ones(3, dtype=np.float32))
+        param.grad += 2.0
+        opt = SGD([param], lr=0.1)
+        opt.zero_grad()
+        assert np.allclose(param.grad, 0.0)
+
+    def test_training_reduces_loss_on_toy_problem(self):
+        rng = np.random.default_rng(0)
+        net = TinyNet()
+        x = rng.standard_normal((64, 4))
+        y = (x[:, 0] > 0).astype(np.int64)
+        loss_fn = CrossEntropyLoss()
+        opt = SGD(net.parameters(), lr=0.5, momentum=0.9)
+        first_loss = None
+        for _ in range(40):
+            loss = loss_fn(net(x), y)
+            if first_loss is None:
+                first_loss = loss
+            net.zero_grad()
+            net.backward(loss_fn.backward())
+            opt.step()
+        assert loss < first_loss * 0.5

@@ -1,0 +1,96 @@
+"""Tests for the error-distribution analysis and DP accounting (Figure 10)."""
+
+import numpy as np
+import pytest
+
+from repro.compressors import SZ2Compressor
+from repro.privacy import (
+    analyze_error_distribution,
+    compression_errors,
+    epsilon_for_laplace_noise,
+    laplace_mechanism_scale,
+)
+
+
+class TestCompressionErrors:
+    def test_errors_bounded_by_rel_bound(self, weight_like):
+        errors = compression_errors(SZ2Compressor(error_bound=1e-2), weight_like)
+        bound = 1e-2 * (weight_like.max() - weight_like.min())
+        assert np.max(np.abs(errors)) <= bound * (1 + 1e-6) + 1e-9
+        assert errors.shape == (weight_like.size,)
+
+    def test_errors_shrink_with_bound(self, weight_like):
+        wide = compression_errors(SZ2Compressor(error_bound=1e-1), weight_like)
+        narrow = compression_errors(SZ2Compressor(error_bound=1e-3), weight_like)
+        assert np.std(narrow) < np.std(wide)
+
+
+class TestErrorDistribution:
+    def test_true_laplace_identified(self):
+        rng = np.random.default_rng(0)
+        samples = rng.laplace(0.0, 0.01, size=50_000)
+        fit = analyze_error_distribution(samples)
+        assert fit.laplace_like
+        assert fit.laplace_scale == pytest.approx(0.01, rel=0.1)
+        assert fit.histogram_peaked
+
+    def test_gaussian_not_flagged_laplace(self):
+        rng = np.random.default_rng(1)
+        samples = rng.normal(0.0, 0.01, size=50_000)
+        fit = analyze_error_distribution(samples)
+        assert not fit.laplace_like
+        assert abs(fit.excess_kurtosis) < 0.5
+
+    def test_compression_error_is_peaked_like_laplace(self, weight_like):
+        # the paper's Figure 10 observation: at the largest REL bound (0.5) the
+        # compression error inherits the sharply-peaked weight distribution and
+        # a Laplace model fits it better than a Gaussian
+        errors = compression_errors(SZ2Compressor(error_bound=0.5), weight_like)
+        fit = analyze_error_distribution(errors)
+        assert fit.histogram_peaked
+        assert fit.laplace_like
+
+    def test_small_bound_errors_lose_laplace_shape(self, weight_like):
+        # at tight bounds the quantization error tends toward uniform noise;
+        # this is the documented boundary of the Figure 10 observation
+        errors = compression_errors(SZ2Compressor(error_bound=1e-2), weight_like)
+        fit = analyze_error_distribution(errors)
+        assert fit.excess_kurtosis < 0.5
+
+    def test_subsampling_large_inputs(self):
+        rng = np.random.default_rng(2)
+        fit = analyze_error_distribution(rng.laplace(0, 1, 500_000), max_samples=10_000)
+        assert fit.n == 10_000
+
+    def test_nonfinite_filtered(self):
+        samples = np.array([0.1, -0.2, np.nan, np.inf, 0.05])
+        fit = analyze_error_distribution(samples)
+        assert fit.n == 3
+
+    def test_empty_errors_raise(self):
+        with pytest.raises(ValueError):
+            analyze_error_distribution(np.array([np.nan]))
+
+    def test_fit_fields_finite(self, weight_like):
+        errors = compression_errors(SZ2Compressor(error_bound=1e-2), weight_like)
+        fit = analyze_error_distribution(errors)
+        for value in (fit.mean, fit.std, fit.laplace_loc, fit.laplace_scale,
+                      fit.laplace_ks, fit.normal_ks, fit.excess_kurtosis):
+            assert np.isfinite(value)
+
+
+class TestDPAccounting:
+    def test_scale_and_epsilon_inverse(self):
+        scale = laplace_mechanism_scale(sensitivity=1.0, epsilon=0.5)
+        assert scale == pytest.approx(2.0)
+        assert epsilon_for_laplace_noise(1.0, scale) == pytest.approx(0.5)
+
+    def test_more_noise_more_privacy(self):
+        assert epsilon_for_laplace_noise(1.0, 10.0) < epsilon_for_laplace_noise(1.0, 0.1)
+
+    @pytest.mark.parametrize("func", [laplace_mechanism_scale, epsilon_for_laplace_noise])
+    def test_validation(self, func):
+        with pytest.raises(ValueError):
+            func(0.0, 1.0)
+        with pytest.raises(ValueError):
+            func(1.0, 0.0)

@@ -1,0 +1,105 @@
+"""Tests for the bit-level writer/reader."""
+
+import numpy as np
+import pytest
+
+from repro.utils.bitstream import BitReader, BitWriter
+
+
+class TestBitWriter:
+    def test_single_bits_roundtrip(self):
+        writer = BitWriter()
+        bits = [1, 0, 1, 1, 0, 0, 1, 0, 1]
+        for b in bits:
+            writer.write_bit(b)
+        reader = BitReader(writer.getvalue())
+        assert [reader.read_bit() for _ in range(len(bits))] == bits
+
+    def test_write_bits_value_roundtrip(self):
+        writer = BitWriter()
+        writer.write_bits(0b101101, 6)
+        writer.write_bits(0xABCD, 16)
+        reader = BitReader(writer.getvalue())
+        assert reader.read_bits(6) == 0b101101
+        assert reader.read_bits(16) == 0xABCD
+
+    def test_zero_width_write_is_noop(self):
+        writer = BitWriter()
+        writer.write_bits(123, 0)
+        assert writer.nbits == 0
+
+    def test_negative_width_raises(self):
+        writer = BitWriter()
+        with pytest.raises(ValueError):
+            writer.write_bits(1, -1)
+
+    def test_nbits_counts_pending_and_flushed(self):
+        writer = BitWriter()
+        writer.write_bit(1)
+        writer.write_bitarray(np.array([1, 0, 1], dtype=np.uint8))
+        writer.write_bit(0)
+        assert writer.nbits == 5
+
+    def test_empty_writer_returns_empty_bytes(self):
+        assert BitWriter().getvalue() == b""
+
+    def test_output_is_byte_padded(self):
+        writer = BitWriter()
+        writer.write_bits(0b111, 3)
+        assert len(writer.getvalue()) == 1
+
+    def test_write_bits_array_matches_scalar_writes(self):
+        values = np.array([3, 7, 0, 15, 9], dtype=np.uint64)
+        array_writer = BitWriter()
+        array_writer.write_bits_array(values, 4)
+        scalar_writer = BitWriter()
+        for v in values:
+            scalar_writer.write_bits(int(v), 4)
+        assert array_writer.getvalue() == scalar_writer.getvalue()
+
+
+class TestBitReader:
+    def test_read_past_end_raises(self):
+        writer = BitWriter()
+        writer.write_bits(1, 1)
+        reader = BitReader(writer.getvalue())
+        reader.read_bits(8)  # padding bits still readable
+        with pytest.raises(EOFError):
+            reader.read_bits(8)
+
+    def test_read_bits_array_roundtrip(self):
+        values = np.array([5, 0, 1023, 512, 7], dtype=np.uint64)
+        writer = BitWriter()
+        writer.write_bits_array(values, 10)
+        reader = BitReader(writer.getvalue())
+        out = reader.read_bits_array(len(values), 10)
+        np.testing.assert_array_equal(out, values)
+
+    def test_read_bitarray(self):
+        writer = BitWriter()
+        pattern = np.array([1, 1, 0, 1, 0, 0, 1, 0, 1, 1], dtype=np.uint8)
+        writer.write_bitarray(pattern)
+        reader = BitReader(writer.getvalue())
+        np.testing.assert_array_equal(reader.read_bitarray(10), pattern)
+
+    def test_zero_count_array_read(self):
+        reader = BitReader(b"\x00")
+        assert reader.read_bits_array(0, 5).size == 0
+
+    def test_remaining_decreases(self):
+        writer = BitWriter()
+        writer.write_bits(0xFF, 8)
+        reader = BitReader(writer.getvalue())
+        before = reader.remaining
+        reader.read_bits(3)
+        assert reader.remaining == before - 3
+
+    def test_mixed_interleaved_roundtrip(self):
+        writer = BitWriter()
+        writer.write_bits(0b10, 2)
+        writer.write_bits_array(np.array([1, 2, 3], dtype=np.uint64), 3)
+        writer.write_bit(1)
+        reader = BitReader(writer.getvalue())
+        assert reader.read_bits(2) == 0b10
+        np.testing.assert_array_equal(reader.read_bits_array(3, 3), [1, 2, 3])
+        assert reader.read_bit() == 1

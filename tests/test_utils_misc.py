@@ -1,0 +1,74 @@
+"""Tests for timers, formatting helpers, and RNG construction."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import make_rng, spawn_rngs
+from repro.utils.timer import Timer, format_bytes, format_seconds
+
+
+class TestTimer:
+    def test_accumulates_elapsed_time(self):
+        timer = Timer()
+        with timer:
+            time.sleep(0.01)
+        with timer:
+            time.sleep(0.01)
+        assert timer.elapsed >= 0.018
+        assert len(timer.laps) == 2
+        assert timer.mean_lap == pytest.approx(timer.elapsed / 2)
+
+    def test_reset(self):
+        timer = Timer()
+        with timer:
+            pass
+        timer.reset()
+        assert timer.elapsed == 0.0
+        assert timer.laps == []
+
+    def test_mean_lap_empty(self):
+        assert Timer().mean_lap == 0.0
+
+
+class TestFormatting:
+    @pytest.mark.parametrize("value,expected_unit", [
+        (100, "B"), (2048, "KB"), (5 * 1024**2, "MB"), (3 * 1024**3, "GB"),
+    ])
+    def test_format_bytes_units(self, value, expected_unit):
+        assert expected_unit in format_bytes(value)
+
+    @pytest.mark.parametrize("value,expected_unit", [
+        (5e-5, "us"), (0.02, "ms"), (3.0, "s"), (300.0, "min"),
+    ])
+    def test_format_seconds_units(self, value, expected_unit):
+        out = format_seconds(value)
+        assert out.endswith(expected_unit)
+
+
+class TestRng:
+    def test_make_rng_deterministic(self):
+        a = make_rng(5).standard_normal(10)
+        b = make_rng(5).standard_normal(10)
+        np.testing.assert_array_equal(a, b)
+
+    def test_make_rng_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert make_rng(gen) is gen
+
+    def test_spawn_rngs_independent(self):
+        rngs = spawn_rngs(0, 3)
+        draws = [r.standard_normal(100) for r in rngs]
+        assert not np.allclose(draws[0], draws[1])
+        assert not np.allclose(draws[1], draws[2])
+
+    def test_spawn_rngs_reproducible(self):
+        a = [r.standard_normal(5) for r in spawn_rngs(42, 2)]
+        b = [r.standard_normal(5) for r in spawn_rngs(42, 2)]
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(x, y)
+
+    def test_spawn_negative_count_raises(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)

@@ -1,0 +1,69 @@
+"""Tests for the binary serialization helpers."""
+
+import numpy as np
+import pytest
+
+from repro.utils.serialization import (
+    pack_arrays,
+    pack_bytes_dict,
+    unpack_arrays,
+    unpack_bytes_dict,
+)
+
+
+class TestBytesDict:
+    def test_roundtrip_preserves_entries_and_order(self):
+        data = {"alpha": b"\x00\x01\x02", "beta": b"", "gamma": b"hello world"}
+        out = unpack_bytes_dict(pack_bytes_dict(data))
+        assert out == data
+        assert list(out) == list(data)
+
+    def test_empty_dict(self):
+        assert unpack_bytes_dict(pack_bytes_dict({})) == {}
+
+    def test_unicode_keys(self):
+        data = {"weights/层.weight": b"abc"}
+        assert unpack_bytes_dict(pack_bytes_dict(data)) == data
+
+    def test_large_values(self):
+        blob = bytes(np.random.default_rng(0).integers(0, 256, 100_000, dtype=np.uint8))
+        data = {"big": blob}
+        assert unpack_bytes_dict(pack_bytes_dict(data))["big"] == blob
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(ValueError, match="magic"):
+            unpack_bytes_dict(b"NOPE" + b"\x00" * 16)
+
+
+class TestArrayDict:
+    def test_roundtrip_dtypes_and_shapes(self):
+        rng = np.random.default_rng(1)
+        data = {
+            "f32": rng.standard_normal((3, 4)).astype(np.float32),
+            "f64": rng.standard_normal(7),
+            "i64": rng.integers(-5, 5, size=(2, 2, 2)),
+            "scalar": np.float32(3.5),
+            "empty": np.zeros((0, 4), dtype=np.float32),
+        }
+        out = unpack_arrays(pack_arrays(data))
+        assert set(out) == set(data)
+        for key in data:
+            np.testing.assert_array_equal(out[key], np.asarray(data[key]))
+            assert out[key].dtype == np.asarray(data[key]).dtype
+            assert out[key].shape == np.asarray(data[key]).shape
+
+    def test_non_contiguous_input(self):
+        base = np.arange(24, dtype=np.float32).reshape(4, 6)
+        view = base[:, ::2]
+        out = unpack_arrays(pack_arrays({"v": view}))["v"]
+        np.testing.assert_array_equal(out, view)
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(ValueError, match="magic"):
+            unpack_arrays(b"XXXX\x00\x00\x00\x00")
+
+    def test_output_is_writable_copy(self):
+        data = {"a": np.ones(4, dtype=np.float32)}
+        out = unpack_arrays(pack_arrays(data))
+        out["a"][0] = 42.0
+        assert data["a"][0] == 1.0
