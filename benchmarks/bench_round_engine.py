@@ -1,0 +1,91 @@
+"""Round-engine concurrency: parallel workers vs the sequential reference.
+
+An 8-client FedAvg round over a simulated 2 Mbps uplink (``simulate_delay=True``,
+the paper's MPI-delay-injection methodology) is executed sequentially
+(``max_workers=1``) and with a 4-thread worker pool.  The parallel engine must
+be measurably faster in wall clock — the injected per-client transfer delays
+overlap across threads, and on multicore hosts the BLAS-heavy training does
+too — while reproducing the sequential accuracies and byte counts bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from bench_utils import fl_settings, quick_fl_data, save_results
+from repro.core import NetworkModel
+from repro.fl import FederatedSimulation, RawUpdateCodec
+from repro.metrics import ExperimentRecord, Table
+from repro.nn import build_model
+
+N_CLIENTS = 8
+WORKERS = 4
+ROUNDS = 2
+BANDWIDTH_MBPS = 2.0
+
+
+def _build_simulation(train, test, cfg, max_workers: int) -> FederatedSimulation:
+    def factory():
+        return build_model(cfg["model"], num_classes=10, in_channels=3,
+                           image_size=cfg["image_size"], seed=0)
+
+    network = NetworkModel(bandwidth_mbps=BANDWIDTH_MBPS, simulate_delay=True)
+    return FederatedSimulation(factory, train, test, n_clients=N_CLIENTS,
+                               codec=RawUpdateCodec(), network=network,
+                               batch_size=cfg["batch_size"], lr=cfg["lr"], seed=11,
+                               max_workers=max_workers, uplink="parallel")
+
+
+def bench_round_engine(benchmark):
+    cfg = fl_settings()
+    train, test = quick_fl_data("cifar10", seed=47)
+
+    def run():
+        walls = {}
+        results = {}
+        for workers in (1, WORKERS):
+            sim = _build_simulation(train, test, cfg, workers)
+            start = time.perf_counter()
+            results[workers] = sim.run(ROUNDS)
+            walls[workers] = time.perf_counter() - start
+        return walls, results
+
+    walls, results = benchmark.pedantic(run, rounds=1, iterations=1)
+    sequential, parallel = results[1], results[WORKERS]
+    speedup = walls[1] / walls[WORKERS]
+
+    table = Table(f"Round engine - {N_CLIENTS} clients, {ROUNDS} rounds, "
+                  f"{BANDWIDTH_MBPS:g} Mbps simulated uplink",
+                  ["workers", "wall (s)", "speedup", "final acc", "upload (KB)"])
+    record = ExperimentRecord("round_engine",
+                              "parallel round engine vs sequential reference")
+    for workers in (1, WORKERS):
+        result = results[workers]
+        table.add_row(workers, f"{walls[workers]:.2f}",
+                      f"{walls[1] / walls[workers]:.2f}x",
+                      f"{result.final_accuracy:.1%}",
+                      f"{result.total_transmitted_bytes / 1e3:.1f}")
+        record.add(workers=workers, wall_seconds=walls[workers],
+                   final_accuracy=result.final_accuracy,
+                   transmitted_bytes=result.total_transmitted_bytes)
+    record.add(speedup=speedup)
+    save_results("round_engine", table, record)
+
+    # The parallel engine must reproduce the sequential reference bit-for-bit...
+    assert parallel.accuracies == sequential.accuracies
+    assert [r.transmitted_bytes for r in parallel.rounds] == \
+        [r.transmitted_bytes for r in sequential.rounds]
+    assert [r.communication_seconds for r in parallel.rounds] == \
+        [r.communication_seconds for r in sequential.rounds]
+    assert np.all([r.client_losses == s.client_losses
+                   for r, s in zip(parallel.rounds, sequential.rounds)])
+    # ... while finishing measurably sooner (transfer delays overlap).  The
+    # timing assertion is skipped on shared CI runners, where scheduling noise
+    # on a loaded 2-core box would make a single-round wall-clock comparison
+    # flaky; the table above still reports the measured speedup there.
+    if not os.environ.get("CI"):
+        assert walls[WORKERS] < walls[1] * 0.8, \
+            f"expected >1.25x speedup, got {speedup:.2f}x"

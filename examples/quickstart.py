@@ -8,6 +8,12 @@ the worst-case reconstruction error.
 Run with::
 
     python examples/quickstart.py
+
+From here, ``examples/fl_cifar10_fedsz.py`` runs the full federated loop, and
+``examples/fl_partial_participation.py`` shows the concurrent round engine —
+thread-pool workers (``max_workers``), per-round client sampling
+(``participation``), dropout/straggler injection, and heterogeneous per-client
+links (see :mod:`repro.fl.simulation` for the knob reference).
 """
 
 from __future__ import annotations

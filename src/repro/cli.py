@@ -40,6 +40,25 @@ from repro.utils.timer import format_bytes, format_seconds
 __all__ = ["main", "build_parser"]
 
 
+def _participation_value(text: str) -> "float | int":
+    """Parse ``--participation``: ``(0, 1]`` floats are fractions, ints > 1 counts."""
+    try:
+        if text.strip().lstrip("+").isdigit():
+            count = int(text)
+            if count > 1:
+                return count
+            value = float(count)
+        else:
+            value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a fraction in (0, 1] or a client count, got {text!r}") from None
+    if not 0.0 < value <= 1.0:
+        raise argparse.ArgumentTypeError(
+            f"participation fraction must be in (0, 1], got {text!r}")
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the top-level argument parser."""
     parser = argparse.ArgumentParser(prog="repro", description=__doc__,
@@ -62,6 +81,15 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--bound", type=float, default=1e-2)
     simulate.add_argument("--bandwidth", type=float, default=10.0, help="uplink Mbps")
     simulate.add_argument("--seed", type=int, default=0)
+    simulate.add_argument("--workers", type=int, default=1,
+                          help="thread-pool size for per-client train/encode/decode "
+                               "(1 = the bit-reproducible sequential path)")
+    simulate.add_argument("--participation", type=_participation_value, default=1.0,
+                          help="clients sampled per round: fraction in (0, 1] or integer count")
+    simulate.add_argument("--straggler", type=float, default=0.0,
+                          help="per-round probability that a client straggles (4x slowdown)")
+    simulate.add_argument("--dropout", type=float, default=0.0,
+                          help="per-round probability that a sampled client drops out")
 
     select = sub.add_parser("select", help="profile EBLC candidates on a model's weights")
     select.add_argument("--model", default="resnet50", choices=available_models())
@@ -108,8 +136,16 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
               "fedsz": FedSZUpdateCodec(FedSZConfig(error_bound=args.bound))}
     results = {}
     for label, codec in codecs.items():
-        sim = FederatedSimulation(factory, train, test, n_clients=args.clients, codec=codec,
-                                  network=network, lr=0.15, seed=args.seed + 2)
+        try:
+            sim = FederatedSimulation(factory, train, test, n_clients=args.clients, codec=codec,
+                                      network=network, lr=0.15, seed=args.seed + 2,
+                                      max_workers=args.workers, participation=args.participation,
+                                      dropout_prob=args.dropout, straggler_prob=args.straggler)
+        except ValueError as exc:
+            # round-engine ranges that need cross-flag context (--participation
+            # count vs --clients, --workers >= 1, probability ranges)
+            print(f"repro simulate: error: {exc}", file=sys.stderr)
+            return 2
         results[label] = sim.run(args.rounds)
         accs = "  ".join(f"{a:.2%}" for a in results[label].accuracies)
         print(f"{label:>13}: {accs}")

@@ -139,7 +139,10 @@ class InterpolationPredictor:
         left = values[left_idx]
         right = values[right_idx]
         same = right_idx == left_idx
-        pred = 0.5 * (left + right)
+        # halve-then-add: `0.5 * (left + right)` overflows to inf when both
+        # parents sit near the float64 maximum; this form stays finite for
+        # every finite input pair
+        pred = 0.5 * left + 0.5 * right
         if np.any(same):
             pred = np.where(same, left, pred)
         return pred

@@ -49,10 +49,24 @@ class LinearQuantizer:
             raise ValueError("data and predictions must have the same shape")
         if abs_bound <= 0:
             raise ValueError("abs_bound must be positive")
-        residual = data - predictions
-        q = np.rint(residual / (2.0 * abs_bound)).astype(np.int64)
-        predictable = np.abs(q) <= self.radius
-        reconstructed = np.where(predictable, predictions + 2.0 * abs_bound * q, data)
+        # The quotient is screened in float64 *before* the int64 cast: a huge
+        # residual-to-bound ratio (or a non-finite prediction) would otherwise
+        # overflow the cast into arbitrary negative codes instead of taking the
+        # outlier escape.
+        with np.errstate(over="ignore", invalid="ignore"):
+            residual = data - predictions
+            q_float = np.rint(residual / (2.0 * abs_bound))
+            predictable = np.isfinite(q_float) & (np.abs(q_float) <= self.radius)
+            q = np.where(predictable, q_float, 0.0).astype(np.int64)
+            # the reconstruction itself must be screened too: with a huge
+            # bound, `2 * abs_bound * q` can round past the float64 maximum
+            # even when the quotient is small (e.g. data 1.75e308 predicted at
+            # 1.6e308 with bound 1e307), so such positions take the outlier
+            # escape instead of reconstructing as inf
+            candidate = predictions + 2.0 * abs_bound * q
+            predictable &= np.isfinite(candidate)
+            q = np.where(predictable, q, 0)
+            reconstructed = np.where(predictable, candidate, data)
         codes = np.where(predictable, q + self.radius + 1, 0).astype(np.int64)
         outliers = data[~predictable].astype(np.float64)
         return QuantizationResult(codes=codes, outliers=outliers, reconstructed=reconstructed)
@@ -63,7 +77,10 @@ class LinearQuantizer:
         codes = np.asarray(codes, dtype=np.int64)
         predictions = np.asarray(predictions, dtype=np.float64)
         q = codes - (self.radius + 1)
-        values = predictions + 2.0 * abs_bound * q
+        with np.errstate(over="ignore", invalid="ignore"):
+            # unpredictable positions (code 0 → q = -radius-1) may overflow
+            # here; they are overwritten from the outlier list just below
+            values = predictions + 2.0 * abs_bound * q
         unpred = codes == 0
         n_unpred = int(unpred.sum())
         if n_unpred:

@@ -76,20 +76,26 @@ class SZ2Compressor(LossyCompressor):
         blocks, original_len = block_pad(data, self.block_size)
         n_blocks = blocks.shape[0]
 
-        mean_pred, mean_coef = block_mean_predictor(blocks)
-        reg_pred, reg_coef = block_regression_predictor(blocks)
+        # Values near the float64 extremes overflow the float32 coefficient
+        # cast and the SSE accumulation to inf; that only deselects the
+        # affected predictor (and the quantizer's outlier escape covers the
+        # residuals), so the overflow is expected rather than a fault.
+        with np.errstate(over="ignore", invalid="ignore"):
+            mean_pred, mean_coef = block_mean_predictor(blocks)
+            reg_pred, reg_coef = block_regression_predictor(blocks)
 
-        # Cast coefficients to float32 *before* forming predictions so the
-        # decoder (which only sees float32 coefficients) reproduces the exact
-        # same predictions and the error bound survives serialization.
-        mean_coef32 = mean_coef.astype(np.float32)
-        reg_coef32 = reg_coef.astype(np.float32)
-        mean_pred = np.broadcast_to(mean_coef32.astype(np.float64), blocks.shape)
-        reg_pred = predictions_from_regression(reg_coef32.astype(np.float64), self.block_size)
+            # Cast coefficients to float32 *before* forming predictions so the
+            # decoder (which only sees float32 coefficients) reproduces the
+            # exact same predictions and the error bound survives
+            # serialization.
+            mean_coef32 = mean_coef.astype(np.float32)
+            reg_coef32 = reg_coef.astype(np.float32)
+            mean_pred = np.broadcast_to(mean_coef32.astype(np.float64), blocks.shape)
+            reg_pred = predictions_from_regression(reg_coef32.astype(np.float64), self.block_size)
 
-        mean_sse = ((blocks - mean_pred) ** 2).sum(axis=1)
-        reg_sse = ((blocks - reg_pred) ** 2).sum(axis=1)
-        use_regression = reg_sse < mean_sse
+            mean_sse = ((blocks - mean_pred) ** 2).sum(axis=1)
+            reg_sse = ((blocks - reg_pred) ** 2).sum(axis=1)
+            use_regression = reg_sse < mean_sse
 
         predictions = np.where(use_regression[:, None], reg_pred, mean_pred)
         quant = self.quantizer.quantize(blocks.ravel(), predictions.ravel(), abs_bound)

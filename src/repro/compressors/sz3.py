@@ -15,11 +15,17 @@ Payload body layout::
 
     u64   element count
     u32   quantizer radius
-    u64   anchor count, f32[] anchor values
+    u8    anchor dtype (0 = float32, 1 = float64)
+    u64   anchor count, anchor values
     u64   Huffman stream length, Huffman-coded quantization codes (level order)
     u64   outlier count, f64[] verbatim outliers (level order)
 
 wrapped in the configured lossless backend.
+
+Anchors are stored verbatim and double as their own reconstruction, so their
+storage dtype must honour the error bound: float32 is used whenever the cast
+error stays within the bound (always true for float32 inputs, keeping those
+bitstreams compact), otherwise the anchors are kept as float64.
 """
 
 from __future__ import annotations
@@ -59,13 +65,18 @@ class SZ3Compressor(LossyCompressor):
     def _compress_float1d(self, data: np.ndarray, abs_bound: float) -> bytes:
         n = data.size
         if n == 0:
-            return self.lossless.compress(struct.pack("<QI", 0, self.quantizer.radius))
+            return self.lossless.compress(struct.pack("<QIB", 0, self.quantizer.radius, 0))
 
         predictor = InterpolationPredictor(n)
         anchors_idx = predictor.anchor_indices()
-        anchors = data[anchors_idx].astype(np.float32)
+        exact = data[anchors_idx]
+        with np.errstate(over="ignore"):
+            as_f32 = exact.astype(np.float32)
+        f32_ok = np.all(np.isfinite(as_f32)) and \
+            float(np.max(np.abs(as_f32.astype(np.float64) - exact))) <= abs_bound
+        anchors = as_f32 if f32_ok else exact.astype(np.float64)
 
-        # The decoder only sees float32 anchors; reconstruct from the same
+        # The decoder only sees the stored anchors; reconstruct from the same
         # values here so both sides run identical interpolation arithmetic.
         reconstructed = np.zeros(n, dtype=np.float64)
         reconstructed[anchors_idx] = anchors.astype(np.float64)
@@ -83,7 +94,7 @@ class SZ3Compressor(LossyCompressor):
         outliers = np.concatenate(outlier_chunks) if outlier_chunks else np.zeros(0, dtype=np.float64)
         huff = self.huffman.encode(codes)
 
-        body = struct.pack("<QI", n, self.quantizer.radius)
+        body = struct.pack("<QIB", n, self.quantizer.radius, 0 if f32_ok else 1)
         body += struct.pack("<Q", anchors.size) + anchors.tobytes()
         body += struct.pack("<Q", len(huff)) + huff
         body += LinearQuantizer.pack_outliers(outliers)
@@ -93,14 +104,15 @@ class SZ3Compressor(LossyCompressor):
     def _decompress_float1d(self, body: bytes, count: int, abs_bound: float,
                             dtype: np.dtype) -> np.ndarray:
         body = self.lossless.decompress(body)
-        n, radius = struct.unpack_from("<QI", body, 0)
-        offset = 12
+        n, radius, anchor_code = struct.unpack_from("<QIB", body, 0)
+        offset = struct.calcsize("<QIB")
         if n == 0:
             return np.zeros(count, dtype=np.float64)
+        anchor_dtype = np.dtype(np.float64) if anchor_code else np.dtype(np.float32)
         (anchor_count,) = struct.unpack_from("<Q", body, offset)
         offset += 8
-        anchors = np.frombuffer(body, dtype=np.float32, count=anchor_count, offset=offset)
-        offset += 4 * anchor_count
+        anchors = np.frombuffer(body, dtype=anchor_dtype, count=anchor_count, offset=offset)
+        offset += anchor_dtype.itemsize * anchor_count
         (huff_len,) = struct.unpack_from("<Q", body, offset)
         offset += 8
         codes = self.huffman.decode(body[offset : offset + huff_len])

@@ -23,7 +23,7 @@ Payload body layout::
 
     u32   block size
     u64   element count
-    u8    bit width for non-constant values
+    u8    bit width for non-constant values (255 = verbatim float64 escape)
     f64   offset (minimum of non-constant values)
     bytes constant-block bitmap
     f64[] constant block midpoints
@@ -40,6 +40,11 @@ from repro.compressors.base import ErrorBound, ErrorBoundMode, LossyCompressor
 from repro.compressors.predictors import block_pad
 
 __all__ = ["SZxCompressor"]
+
+#: reserved bit-width flag: non-constant values stored verbatim as float64
+#: (taken when the requested bound would need > 44-bit quantization codes,
+#: where float64 quotient rounding could itself break the guarantee)
+_VERBATIM_WIDTH = 255
 
 
 class SZxCompressor(LossyCompressor):
@@ -65,20 +70,37 @@ class SZxCompressor(LossyCompressor):
         n_blocks = blocks.shape[0]
         block_min = blocks.min(axis=1)
         block_max = blocks.max(axis=1)
-        constant = (block_max - block_min) <= 2.0 * abs_bound
-        # midpoints are kept in float64: float32 rounding could push the
-        # reconstruction error just past a tight absolute bound
-        midpoints = 0.5 * (block_max + block_min)
+        with np.errstate(over="ignore"):
+            # max - min overflows to inf for mixed-sign near-float64-max
+            # blocks; inf > 2*bound simply routes them to the non-constant
+            # path (whose verbatim escape keeps the bound)
+            constant = (block_max - block_min) <= 2.0 * abs_bound
+            # midpoints are kept in float64: float32 rounding could push the
+            # reconstruction error just past a tight absolute bound.  Computed
+            # as min + spread/2 (never `(max + min) / 2`, whose sum overflows
+            # to inf for near-float64-max magnitudes) the result always lies
+            # in [min, max] and stays finite for constant blocks.
+            midpoints = block_min + 0.5 * (block_max - block_min)
 
         nonconst_values = blocks[~constant].ravel()
         if nonconst_values.size:
             offset_value = float(nonconst_values.min())
-            codes = np.floor((nonconst_values - offset_value) / (2.0 * abs_bound) + 0.5).astype(np.uint64)
-            max_code = int(codes.max()) if codes.size else 0
-            width = max(int(max_code).bit_length(), 1)
-            shifts = np.arange(width - 1, -1, -1, dtype=np.uint64)
-            bits = ((codes[:, None] >> shifts[None, :]) & np.uint64(1)).astype(np.uint8)
-            packed = np.packbits(bits.ravel())
+            with np.errstate(over="ignore", invalid="ignore"):
+                code_floats = np.floor((nonconst_values - offset_value) / (2.0 * abs_bound) + 0.5)
+            # Beyond ~2^44 the float64 quotient itself carries more rounding
+            # error than the bound allows (and a uint64 cast would overflow
+            # silently past 2^64): escape to verbatim float64 storage, flagged
+            # by the reserved width 255.
+            if not np.all(np.isfinite(code_floats)) or float(code_floats.max()) >= 2.0 ** 44:
+                width = _VERBATIM_WIDTH
+                packed = np.frombuffer(nonconst_values.astype(np.float64).tobytes(), dtype=np.uint8)
+            else:
+                codes = code_floats.astype(np.uint64)
+                max_code = int(codes.max()) if codes.size else 0
+                width = max(int(max_code).bit_length(), 1)
+                shifts = np.arange(width - 1, -1, -1, dtype=np.uint64)
+                bits = ((codes[:, None] >> shifts[None, :]) & np.uint64(1)).astype(np.uint8)
+                packed = np.packbits(bits.ravel())
         else:
             offset_value = 0.0
             width = 0
@@ -101,6 +123,9 @@ class SZxCompressor(LossyCompressor):
         offset = struct.calcsize("<IQBd")
         if original_len == 0:
             return np.zeros(count, dtype=np.float64)
+        if width > 64 and width != _VERBATIM_WIDTH:
+            # a shift count past 63 would silently wrap in numpy's uint64 ops
+            raise ValueError(f"corrupt SZx payload: bit width {width}")
         (n_blocks,) = struct.unpack_from("<Q", body, offset)
         offset += 8
         (bitmap_len,) = struct.unpack_from("<Q", body, offset)
@@ -122,9 +147,12 @@ class SZxCompressor(LossyCompressor):
         n_nonconst = int((~constant).sum())
         if n_nonconst:
             total = n_nonconst * block_size
-            bits = np.unpackbits(packed)[: total * width].reshape(total, width)
-            weights = (np.uint64(1) << np.arange(width - 1, -1, -1, dtype=np.uint64))
-            codes = (bits.astype(np.uint64) * weights[None, :]).sum(axis=1, dtype=np.uint64)
-            decoded = offset_value + codes.astype(np.float64) * 2.0 * abs_bound
+            if width == _VERBATIM_WIDTH:
+                decoded = np.frombuffer(packed.tobytes(), dtype=np.float64, count=total)
+            else:
+                bits = np.unpackbits(packed)[: total * width].reshape(total, width)
+                weights = (np.uint64(1) << np.arange(width - 1, -1, -1, dtype=np.uint64))
+                codes = (bits.astype(np.uint64) * weights[None, :]).sum(axis=1, dtype=np.uint64)
+                decoded = offset_value + codes.astype(np.float64) * 2.0 * abs_bound
             values[~constant] = decoded.reshape(n_nonconst, block_size)
         return values.ravel()[:original_len]

@@ -18,9 +18,11 @@ This reproduction mirrors that structure for 1-D data:
 
 When constructed through the common :class:`LossyCompressor` interface the
 requested (relative) error bound is mapped to a precision, reproducing how the
-paper selects "the closest analogous option" for ZFP.  Because precision is
-fixed per block rather than per element, the absolute error bound is a target
-rather than a hard guarantee — exactly ZFP's fixed-precision semantics.
+paper selects "the closest analogous option" for ZFP.  In this derived-
+precision mode every block is self-validated at compression time and blocks
+that would exceed the bound are stored verbatim, so the bound is a hard
+guarantee; passing ``precision`` explicitly requests ZFP's native
+fixed-precision semantics instead, where the bound is only a target.
 
 Payload body layout::
 
@@ -29,6 +31,8 @@ Payload body layout::
     u8    precision bits per coefficient
     i16[] per-block exponents
     bytes packed coefficient bits
+    bytes verbatim-block bitmap
+    f64[] verbatim block values
 """
 
 from __future__ import annotations
@@ -86,7 +90,13 @@ class ZFPCompressor(LossyCompressor):
         value_range = float(np.max(np.abs(data)))
         if value_range == 0.0:
             return 2
-        precision = int(np.ceil(np.log2(max(value_range / abs_bound, 2.0)))) + 3
+        with np.errstate(over="ignore"):
+            ratio = value_range / abs_bound
+        if not np.isfinite(ratio):
+            # bound/range ratio beyond float64: request the maximum precision
+            # and let the per-block verbatim escape pick up the remainder
+            return 30
+        precision = int(np.ceil(np.log2(max(ratio, 2.0)))) + 3
         return int(np.clip(precision, 2, 30))
 
     # ------------------------------------------------------------------
@@ -103,7 +113,10 @@ class ZFPCompressor(LossyCompressor):
         exponents = np.zeros(blocks.shape[0], dtype=np.int16)
         nonzero = block_max > 0
         exponents[nonzero] = np.ceil(np.log2(block_max[nonzero])).astype(np.int16)
-        scale = np.exp2(exponents.astype(np.float64))
+        with np.errstate(over="ignore"):
+            # exponent 1024 (values past 2**1023) overflows the scale to inf;
+            # those blocks reconstruct as NaN and take the verbatim escape
+            scale = np.exp2(exponents.astype(np.float64))
         normalized = np.where(nonzero[:, None], blocks / scale[:, None], 0.0)
 
         coeffs = normalized @ _TRANSFORM.T  # orthonormal forward transform
@@ -112,15 +125,35 @@ class ZFPCompressor(LossyCompressor):
         # [-2, 2]; quantize them uniformly with `precision` bits (sign folded in).
         step = 4.0 / (1 << precision)
         q = np.clip(np.rint(coeffs / step) + (1 << (precision - 1)), 0, (1 << precision) - 1)
-        q = q.astype(np.uint64).ravel()
+        q = q.astype(np.uint64)
 
+        # Self-validate each block when the precision was derived from an error
+        # bound: 30 bit planes cannot honour every bound/range ratio, so blocks
+        # whose reconstruction would exceed the bound are stored verbatim
+        # instead.  An explicit precision requests pure fixed-precision
+        # semantics (a target, not a guarantee) and skips the escape.
+        verbatim = np.zeros(blocks.shape[0], dtype=bool)
+        if self._explicit_precision is None:
+            recon_coeffs = (q.astype(np.float64) - (1 << (precision - 1))) * step
+            with np.errstate(invalid="ignore", over="ignore"):
+                recon = (recon_coeffs @ _INVERSE.T) * scale[:, None]
+                # negated <= so NaN/inf reconstructions (scale overflow past
+                # 2**1023) count as failures instead of slipping through a
+                # False `>` comparison
+                verbatim = ~(np.abs(recon - blocks).max(axis=1) <= abs_bound)
+
+        q = q.ravel()
         shifts = np.arange(precision - 1, -1, -1, dtype=np.uint64)
         bits = ((q[:, None] >> shifts[None, :]) & np.uint64(1)).astype(np.uint8)
         packed = np.packbits(bits.ravel())
+        vb_bitmap = np.packbits(verbatim.astype(np.uint8))
+        vb_values = blocks[verbatim].ravel().astype(np.float64)
 
         body = struct.pack("<IQB", _BLOCK, original_len, precision)
         body += struct.pack("<Q", exponents.size) + exponents.tobytes()
         body += struct.pack("<Q", packed.size) + packed.tobytes()
+        body += struct.pack("<Q", vb_bitmap.size) + vb_bitmap.tobytes()
+        body += struct.pack("<Q", vb_values.size) + vb_values.tobytes()
         return body
 
     # ------------------------------------------------------------------
@@ -130,6 +163,10 @@ class ZFPCompressor(LossyCompressor):
         offset = struct.calcsize("<IQB")
         if original_len == 0:
             return np.zeros(count, dtype=np.float64)
+        if not 2 <= precision <= 30:
+            # matches the compressor's [2, 30] range; larger values would
+            # silently wrap numpy's uint64 shifts
+            raise ValueError(f"corrupt ZFP payload: precision {precision}")
         (n_blocks,) = struct.unpack_from("<Q", body, offset)
         offset += 8
         exponents = np.frombuffer(body, dtype=np.int16, count=n_blocks, offset=offset)
@@ -137,6 +174,14 @@ class ZFPCompressor(LossyCompressor):
         (packed_len,) = struct.unpack_from("<Q", body, offset)
         offset += 8
         packed = np.frombuffer(body, dtype=np.uint8, count=packed_len, offset=offset)
+        offset += packed_len
+        (vb_bitmap_len,) = struct.unpack_from("<Q", body, offset)
+        offset += 8
+        vb_bitmap = np.frombuffer(body, dtype=np.uint8, count=vb_bitmap_len, offset=offset)
+        offset += vb_bitmap_len
+        (vb_count,) = struct.unpack_from("<Q", body, offset)
+        offset += 8
+        vb_values = np.frombuffer(body, dtype=np.float64, count=vb_count, offset=offset)
 
         total = n_blocks * block
         bits = np.unpackbits(packed)[: total * precision].reshape(total, precision)
@@ -147,6 +192,13 @@ class ZFPCompressor(LossyCompressor):
         coeffs = (q.astype(np.float64) - (1 << (precision - 1))) * step
         coeffs = coeffs.reshape(n_blocks, block)
         normalized = coeffs @ _INVERSE.T
-        scale = np.exp2(exponents.astype(np.float64))
-        values = normalized * scale[:, None]
+        with np.errstate(over="ignore"):
+            scale = np.exp2(exponents.astype(np.float64))
+        with np.errstate(invalid="ignore", over="ignore"):
+            # verbatim blocks may carry an overflowed (inf) scale; their
+            # NaN products are overwritten from vb_values just below
+            values = normalized * scale[:, None]
+        if vb_count:
+            verbatim = np.unpackbits(vb_bitmap)[:n_blocks].astype(bool)
+            values[verbatim] = vb_values.reshape(-1, block)
         return values.ravel()[:original_len]

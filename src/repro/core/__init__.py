@@ -20,6 +20,8 @@ from repro.core.network import (
     communication_time,
     compression_is_worthwhile,
     crossover_bandwidth,
+    make_client_networks,
+    round_communication_time,
 )
 from repro.core.partition import (
     PartitionedState,
@@ -47,6 +49,8 @@ __all__ = [
     "communication_time",
     "compression_is_worthwhile",
     "crossover_bandwidth",
+    "make_client_networks",
+    "round_communication_time",
     "CandidateEvaluation",
     "select_compressor",
     "select_error_bound",

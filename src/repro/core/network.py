@@ -10,20 +10,35 @@ into the edge-device (Raspberry Pi 5 class) timings Table I reports, and
 :class:`NetworkModel` turns payload sizes into transfer times for the simulated
 bandwidths of Figures 7-9 (optionally sleeping, mirroring the paper's
 MPI-delay-injection methodology).
+
+For multi-client rounds, :func:`make_client_networks` builds a heterogeneous
+fleet of links (distinct bandwidth/latency per client) and
+:func:`round_communication_time` combines the per-client transfer durations
+into a round total under either uplink discipline: ``"serial"`` (clients share
+the uplink one after another — the sum) or ``"parallel"`` (independent links,
+the round waits for the slowest client — the max).
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
+from typing import Iterable
+
+import numpy as np
 
 __all__ = [
     "communication_time",
     "compression_is_worthwhile",
     "crossover_bandwidth",
+    "round_communication_time",
+    "make_client_networks",
     "NetworkModel",
     "DeviceProfile",
 ]
+
+#: Valid uplink disciplines for :func:`round_communication_time`.
+UPLINK_MODES = ("serial", "parallel")
 
 
 def communication_time(size_bytes: float, bandwidth_mbps: float, latency_s: float = 0.0) -> float:
@@ -60,6 +75,53 @@ def crossover_bandwidth(compress_s: float, decompress_s: float, original_bytes: 
     if saved_bytes <= 0:
         return 0.0
     return (saved_bytes * 8.0) / (overhead * 1e6)
+
+
+def round_communication_time(durations: Iterable[float], uplink: str = "serial") -> float:
+    """Combine per-client transfer durations into one round communication time.
+
+    ``"serial"`` models clients taking turns on a shared uplink (the original
+    simulator semantics): the total is the sum.  ``"parallel"`` models each
+    client uploading simultaneously over its own link, so the round finishes
+    when the slowest client does: the total is the max.
+    """
+    if uplink not in UPLINK_MODES:
+        raise ValueError(f"uplink must be one of {UPLINK_MODES}, got {uplink!r}")
+    durations = [float(d) for d in durations]
+    if not durations:
+        return 0.0
+    return sum(durations) if uplink == "serial" else max(durations)
+
+
+def make_client_networks(n_clients: int, base: "NetworkModel | None" = None,
+                         bandwidth_spread: float = 1.0, latency_spread_s: float = 0.0,
+                         seed: int | None = 0) -> "list[NetworkModel]":
+    """Build a heterogeneous per-client fleet of :class:`NetworkModel` links.
+
+    Each client's bandwidth is drawn log-uniformly from
+    ``[base / bandwidth_spread, base * bandwidth_spread]`` and its latency
+    uniformly from ``[base_latency, base_latency + latency_spread_s]``, so a
+    spread of 1.0 and zero latency spread reproduce ``n_clients`` identical
+    copies of ``base``.  The draw is seeded and therefore reproducible.
+    """
+    if n_clients < 1:
+        raise ValueError("n_clients must be >= 1")
+    if bandwidth_spread < 1.0:
+        raise ValueError("bandwidth_spread must be >= 1.0")
+    if latency_spread_s < 0.0:
+        raise ValueError("latency_spread_s must be non-negative")
+    base = base or NetworkModel()
+    rng = np.random.default_rng(seed)
+    networks: list[NetworkModel] = []
+    for _ in range(n_clients):
+        bandwidth = base.bandwidth_mbps
+        if bandwidth_spread > 1.0:
+            bandwidth *= float(bandwidth_spread ** rng.uniform(-1.0, 1.0))
+        latency = base.latency_s
+        if latency_spread_s > 0.0:
+            latency += float(rng.uniform(0.0, latency_spread_s))
+        networks.append(replace(base, bandwidth_mbps=bandwidth, latency_s=latency))
+    return networks
 
 
 @dataclass(frozen=True)

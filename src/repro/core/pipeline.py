@@ -19,7 +19,7 @@ from __future__ import annotations
 import struct
 import time
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 import numpy as np
 
@@ -32,7 +32,43 @@ from repro.utils.serialization import pack_arrays, pack_bytes_dict, unpack_array
 
 __all__ = ["FedSZCompressor", "FedSZReport"]
 
-_FORMAT_VERSION = 1
+#: bumped to 2 when the per-compressor payload layouts changed (SZ3 anchor
+#: dtype flag, ZFP verbatim-block trailer, SZx verbatim width escape) so
+#: version-1 bitstreams fail the version check instead of misparsing
+_FORMAT_VERSION = 2
+#: Outer-bitstream keys owned by the format itself.  Tensor names may not
+#: collide with them (or with the ``lossy::`` namespace prefix) — a state dict
+#: using them is rejected at compression time instead of risking a bitstream
+#: whose reserved entries are ambiguous to a decoder.
+_RESERVED_KEYS = ("__manifest__", "__lossless__")
+_LOSSY_PREFIX = "lossy::"
+
+
+def _decode_or_valueerror(decode, payload: bytes, entry: str):
+    """Run an inner-payload decoder, normalizing its failures to ValueError.
+
+    The outer container is fully bounds-checked, but bytes corrupted *inside*
+    an entry surface as whatever the backend raises (``zlib.error``,
+    ``struct.error``, ``IndexError``, ...).  The documented contract is that a
+    corrupt bitstream raises :class:`ValueError`, so everything else is
+    wrapped.
+    """
+    try:
+        return decode(payload)
+    except ValueError:
+        raise
+    except Exception as exc:
+        raise ValueError(f"corrupt FedSZ bitstream: entry {entry!r} failed to "
+                         f"decode ({type(exc).__name__}: {exc})") from exc
+
+
+def _check_tensor_names(state: dict) -> None:
+    reserved = [name for name in state
+                if name in _RESERVED_KEYS or name.startswith(_LOSSY_PREFIX)]
+    if reserved:
+        raise ValueError(
+            f"tensor names {reserved!r} collide with reserved FedSZ bitstream keys "
+            f"({', '.join(_RESERVED_KEYS)}, and the {_LOSSY_PREFIX!r} prefix); rename them")
 
 
 @dataclass
@@ -76,7 +112,14 @@ class FedSZReport:
 
 
 class FedSZCompressor:
-    """Compress and decompress model state dictionaries per the FedSZ scheme."""
+    """Compress and decompress model state dictionaries per the FedSZ scheme.
+
+    Thread-safety: the bitstreams produced and consumed by a shared instance
+    are deterministic under concurrent use (the round engine encodes several
+    clients on a worker pool), but ``last_report`` is a single slot — after a
+    parallel round it holds the statistics of one arbitrary client.  Read
+    per-call statistics only from single-threaded contexts.
+    """
 
     def __init__(self, config: FedSZConfig | None = None,
                  lossy: LossyCompressor | None = None,
@@ -95,6 +138,7 @@ class FedSZCompressor:
     # ------------------------------------------------------------------
     def compress_state_dict(self, state: dict[str, np.ndarray]) -> bytes:
         """Compress a full state dict into a single FedSZ bitstream."""
+        _check_tensor_names(state)
         start = time.perf_counter()
         partition = partition_state_dict(state, self.config)
 
@@ -131,12 +175,15 @@ class FedSZCompressor:
         manifest = entries.pop("__manifest__", None)
         if manifest is None:
             raise ValueError("not a FedSZ bitstream: missing manifest")
-        version, _n_entries = struct.unpack("<IQ", manifest)
+        if len(manifest) != struct.calcsize("<IQ"):
+            raise ValueError(f"corrupt FedSZ manifest: {len(manifest)} bytes")
+        version, n_entries = struct.unpack("<IQ", manifest)
         if version != _FORMAT_VERSION:
             raise ValueError(f"unsupported FedSZ bitstream version {version}")
 
         lossless_payload = entries.pop("__lossless__", b"")
-        lossless_arrays = unpack_arrays(self.lossless.decompress(lossless_payload)) \
+        lossless_arrays = unpack_arrays(_decode_or_valueerror(
+            self.lossless.decompress, lossless_payload, "__lossless__")) \
             if lossless_payload else {}
 
         state: "OrderedDict[str, np.ndarray]" = OrderedDict()
@@ -144,12 +191,18 @@ class FedSZCompressor:
             if not key.startswith("lossy::"):
                 raise ValueError(f"unexpected entry {key!r} in FedSZ bitstream")
             name = key[len("lossy::"):]
-            state[name] = self.lossy.decompress(payload)
+            state[name] = _decode_or_valueerror(self.lossy.decompress, payload, key)
         for name, array in lossless_arrays.items():
             state[name] = array
+        if len(state) != n_entries:
+            raise ValueError(f"corrupt FedSZ bitstream: manifest declares {n_entries} "
+                             f"tensors but {len(state)} were decoded")
         elapsed = time.perf_counter() - start
-        if self.last_report is not None:
-            self.last_report.decompress_seconds = elapsed
+        report = self.last_report
+        if report is not None:
+            # replace instead of mutating in place so a concurrent reader never
+            # sees a half-updated report (see the thread-safety note above)
+            self.last_report = replace(report, decompress_seconds=elapsed)
         return state
 
     # ------------------------------------------------------------------

@@ -9,7 +9,7 @@ decodes, aggregates, and evaluates the global model each round.
 
 from repro.fl.client import ClientUpdate, FLClient
 from repro.fl.codec import FedSZUpdateCodec, RawUpdateCodec, UpdateCodec
-from repro.fl.parallel import map_parallel, train_clients_parallel
+from repro.fl.parallel import map_parallel, resolve_worker_count, train_clients_parallel
 from repro.fl.scaling import (
     ScalingResult,
     scaling_speedups,
@@ -32,6 +32,7 @@ __all__ = [
     "RoundRecord",
     "SimulationResult",
     "map_parallel",
+    "resolve_worker_count",
     "train_clients_parallel",
     "ScalingResult",
     "scaling_speedups",

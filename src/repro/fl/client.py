@@ -29,11 +29,21 @@ class ClientUpdate:
 
 
 class FLClient:
-    """One federated client with a local dataset and a private model replica."""
+    """One federated client with a local dataset and a private model replica.
+
+    ``compute_factor`` models device heterogeneity: the reported
+    ``train_seconds`` is the measured host time scaled by this factor (e.g. 3.0
+    for a Raspberry-Pi-5-class edge device, matching
+    :class:`~repro.core.network.DeviceProfile`).  It affects only the reported
+    timing, never the numerics, so heterogeneous fleets stay bit-reproducible.
+    """
 
     def __init__(self, client_id: int, model: Module, dataset: Dataset,
                  batch_size: int = 32, lr: float = 0.05, momentum: float = 0.9,
-                 weight_decay: float = 0.0, seed: int | None = None) -> None:
+                 weight_decay: float = 0.0, seed: int | None = None,
+                 compute_factor: float = 1.0) -> None:
+        if compute_factor <= 0:
+            raise ValueError("compute_factor must be positive")
         self.client_id = int(client_id)
         self.model = model
         self.dataset = dataset
@@ -42,6 +52,7 @@ class FLClient:
         self.momentum = float(momentum)
         self.weight_decay = float(weight_decay)
         self.seed = seed if seed is not None else client_id
+        self.compute_factor = float(compute_factor)
         self.loss_fn = CrossEntropyLoss()
 
     @property
@@ -69,7 +80,7 @@ class FLClient:
                 self.model.zero_grad()
                 self.model.backward(self.loss_fn.backward())
                 optimizer.step()
-        elapsed = time.perf_counter() - start
+        elapsed = (time.perf_counter() - start) * self.compute_factor
         return ClientUpdate(
             client_id=self.client_id,
             state=self.model.state_dict(),

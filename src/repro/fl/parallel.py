@@ -1,4 +1,4 @@
-"""Thread-pool execution of client training within a round.
+"""Thread-pool execution of client training, encoding, and decoding.
 
 The paper's APPFL deployment runs clients as MPI ranks; this module provides
 the equivalent intra-round parallelism for the in-process simulator.  NumPy
@@ -6,38 +6,63 @@ releases the GIL inside its BLAS kernels, so training several clients in
 threads overlaps most of the heavy matrix work without any extra process or
 serialization machinery.
 
-The helper operates on plain callables so it composes with
-:class:`~repro.fl.simulation.FederatedSimulation` (sequential by default) and
-with custom training loops alike.
+Concurrency knobs
+-----------------
+
+* ``max_workers=1`` — strictly sequential execution, bit-identical to a plain
+  ``for`` loop (the deterministic reference the test suite pins the parallel
+  path against).
+* ``max_workers=N`` — up to ``N`` items in flight at once.
+* ``max_workers=None`` — let the executor pick (``min(32, cpu_count + 4)``).
+
+:class:`~repro.fl.simulation.FederatedSimulation` threads its ``max_workers``
+setting through these helpers for all three per-client stages of a round
+(train, encode, decode).  The helpers operate on plain callables so they
+compose with custom training loops alike.
 """
 
 from __future__ import annotations
 
+import os
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Sequence, TypeVar
 
 from repro.fl.client import ClientUpdate, FLClient
 
-__all__ = ["train_clients_parallel", "map_parallel"]
+__all__ = ["map_parallel", "resolve_worker_count", "train_clients_parallel"]
 
 T = TypeVar("T")
 R = TypeVar("R")
+
+
+def resolve_worker_count(max_workers: int | None, n_items: int) -> int:
+    """Effective number of worker threads for ``n_items`` units of work.
+
+    ``None`` resolves to the :class:`ThreadPoolExecutor` default of
+    ``min(32, cpu_count + 4)``; the result is always clamped to ``n_items``
+    (never spawn idle threads) and to a floor of 1.
+    """
+    if max_workers is not None and max_workers < 1:
+        raise ValueError("max_workers must be >= 1")
+    if max_workers is None:
+        max_workers = min(32, (os.cpu_count() or 1) + 4)
+    return max(1, min(max_workers, n_items))
 
 
 def map_parallel(func: Callable[[T], R], items: Sequence[T], max_workers: int | None = None) -> list[R]:
     """Apply ``func`` to every item using a thread pool, preserving order.
 
     With ``max_workers=1`` (or a single item) the call degenerates to a plain
-    sequential map, which keeps the behaviour deterministic for tests.
+    sequential map, which keeps the behaviour deterministic for tests.  An
+    exception raised by any ``func`` call propagates to the caller either way.
     """
     items = list(items)
     if not items:
         return []
-    if max_workers is not None and max_workers < 1:
-        raise ValueError("max_workers must be >= 1")
-    if max_workers == 1 or len(items) == 1:
+    workers = resolve_worker_count(max_workers, len(items))
+    if workers == 1:
         return [func(item) for item in items]
-    with ThreadPoolExecutor(max_workers=max_workers) as pool:
+    with ThreadPoolExecutor(max_workers=workers) as pool:
         return list(pool.map(func, items))
 
 
@@ -46,8 +71,9 @@ def train_clients_parallel(clients: Sequence[FLClient], global_state: dict,
     """Broadcast ``global_state`` to every client and train them concurrently.
 
     Returns the per-client :class:`ClientUpdate` objects in client order, ready
-    for FedAvg aggregation.  Each client owns a private model replica, so the
-    only shared state between threads is the read-only global state dict.
+    for FedAvg aggregation.  Each client owns a private model replica (and
+    ``receive_global`` copies the broadcast arrays), so no state is shared
+    between the training threads.
     """
     for client in clients:
         client.receive_global(global_state)

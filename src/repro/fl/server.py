@@ -20,7 +20,9 @@ def fedavg_aggregate(states: Sequence[dict[str, np.ndarray]],
 
     All state dicts must share the same keys and shapes.  ``weights`` defaults
     to uniform; they are normalized internally, so passing raw sample counts is
-    the standard usage.
+    the standard usage.  With partial participation the average runs over
+    whatever subset of clients reported in (an *empty* round is handled by
+    :meth:`FedAvgServer.aggregate` with ``allow_empty=True``).
     """
     if not states:
         raise ValueError("need at least one client state to aggregate")
@@ -70,8 +72,18 @@ class FedAvgServer:
         return self.model.state_dict()
 
     def aggregate(self, states: Sequence[dict[str, np.ndarray]],
-                  weights: Sequence[float] | None = None) -> "OrderedDict[str, np.ndarray]":
-        """FedAvg the client states into the global model and return the new state."""
+                  weights: Sequence[float] | None = None,
+                  allow_empty: bool = False) -> "OrderedDict[str, np.ndarray]":
+        """FedAvg the client states into the global model and return the new state.
+
+        ``states`` may be any sampled subset of the fleet (partial
+        participation); with ``allow_empty=True`` a round in which every client
+        dropped out leaves the global model unchanged instead of raising.
+        """
+        if not states and allow_empty:
+            # nothing arrived: the global model carries over untouched (and
+            # the non-empty common case never pays for a state-dict copy)
+            return self.global_state()
         new_state = fedavg_aggregate(states, weights)
         self.model.load_state_dict(new_state)
         return new_state

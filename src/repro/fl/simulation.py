@@ -1,27 +1,54 @@
-"""Round-by-round federated simulation with pluggable update codecs.
+"""Round-by-round federated simulation with a concurrent, scenario-rich engine.
 
 :class:`FederatedSimulation` orchestrates the full paper workflow:
 
 * partition a dataset over ``n_clients`` (IID by default, as in Section VI-B),
-* each round, broadcast the global state, run local SGD on every client,
-  encode each update through the configured :class:`UpdateCodec`, move it over
-  the :class:`NetworkModel`, decode at the server, FedAvg, and validate,
+* each round, broadcast the global state, run local SGD on the participating
+  clients, encode each update through the configured :class:`UpdateCodec`,
+  move it over the :class:`NetworkModel`, decode at the server, FedAvg, and
+  validate,
 * record a :class:`RoundRecord` with accuracy, byte counts, and the
   train/compress/communicate time breakdown that Figures 4-7 report.
+
+Round-engine knobs (all default to the original strictly-sequential,
+full-participation semantics, which the test suite pins bit-for-bit):
+
+* ``max_workers`` — client training and the per-client encode → transfer →
+  decode pipeline run on a thread pool of this size (see
+  :mod:`repro.fl.parallel`); with ``simulate_delay=True`` networks the
+  injected sleeps overlap across clients, so a parallel round's wall clock
+  approaches the slowest client instead of the sum.  ``max_workers=1`` is the
+  sequential reference path.
+* ``participation`` — clients sampled per round: a float in ``(0, 1]`` is a
+  fraction of the fleet, an int ``> 1`` an absolute count.  Sampling is seeded
+  and independent of the worker count.
+* ``dropout_prob`` — probability that a sampled client is unavailable this
+  round (its update never arrives and contributes no bytes).
+* ``straggler_prob`` / ``straggler_slowdown`` — probability that a surviving
+  client straggles, multiplying its reported training and transfer time.
+* ``networks`` — optional per-client heterogeneous links; defaults to the
+  shared ``network`` for every client.
+* ``uplink`` — ``"serial"`` (shared uplink, round communication time is the
+  sum over clients; the original semantics) or ``"parallel"`` (independent
+  links, the round waits for the slowest client: the max).
+* ``compute_factors`` — optional per-client device-speed factors forwarded to
+  :class:`~repro.fl.client.FLClient` (reported train time scaling only).
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from typing import Sequence
 
 import numpy as np
 
-from repro.core.network import NetworkModel
+from repro.core.network import UPLINK_MODES, NetworkModel, round_communication_time
 from repro.data.datasets import Dataset
 from repro.data.partition import partition_dataset
-from repro.fl.client import FLClient
+from repro.fl.client import ClientUpdate, FLClient
 from repro.fl.codec import FedSZUpdateCodec, RawUpdateCodec, UpdateCodec
+from repro.fl.parallel import map_parallel, train_clients_parallel
 from repro.fl.server import FedAvgServer
 from repro.nn.module import Module
 
@@ -42,6 +69,12 @@ class RoundRecord:
     transmitted_bytes: int
     communication_seconds: float
     client_losses: list[float] = field(default_factory=list)
+    #: ids of the clients whose updates were aggregated this round
+    participants: list[int] = field(default_factory=list)
+    #: ids of sampled clients that dropped out before reporting
+    dropped_clients: list[int] = field(default_factory=list)
+    #: ids of participants whose train/transfer time was straggler-inflated
+    straggler_clients: list[int] = field(default_factory=list)
 
     @property
     def compression_ratio(self) -> float:
@@ -92,76 +125,177 @@ class FederatedSimulation:
                  network: NetworkModel | None = None, partition_scheme: str = "iid",
                  dirichlet_alpha: float = 0.5, local_epochs: int = 1,
                  batch_size: int = 32, lr: float = 0.05, momentum: float = 0.9,
-                 seed: int | None = 0) -> None:
+                 seed: int | None = 0, max_workers: int | None = 1,
+                 participation: float | int = 1.0, dropout_prob: float = 0.0,
+                 straggler_prob: float = 0.0, straggler_slowdown: float = 4.0,
+                 networks: Sequence[NetworkModel] | None = None,
+                 uplink: str = "serial",
+                 compute_factors: Sequence[float] | None = None) -> None:
+        if max_workers is not None and max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        if uplink not in UPLINK_MODES:
+            raise ValueError(f"uplink must be one of {UPLINK_MODES}, got {uplink!r}")
+        if isinstance(participation, bool) or not isinstance(participation, (int, float)):
+            raise ValueError("participation must be a fraction in (0, 1] or an int count")
+        if isinstance(participation, int):
+            if not 1 <= participation <= n_clients:
+                raise ValueError(f"participation count must be in [1, {n_clients}], got {participation}")
+        elif not 0.0 < participation <= 1.0:
+            raise ValueError(f"participation fraction must be in (0, 1], got {participation}")
+        if not 0.0 <= dropout_prob <= 1.0:
+            raise ValueError("dropout_prob must be in [0, 1]")
+        if not 0.0 <= straggler_prob <= 1.0:
+            raise ValueError("straggler_prob must be in [0, 1]")
+        if straggler_slowdown < 1.0:
+            raise ValueError("straggler_slowdown must be >= 1.0")
+        if networks is not None and len(networks) != n_clients:
+            raise ValueError(f"networks must have one entry per client ({n_clients}), got {len(networks)}")
+        if compute_factors is not None and len(compute_factors) != n_clients:
+            raise ValueError(f"compute_factors must have one entry per client ({n_clients})")
+
         self.model_factory = model_factory
         self.codec = codec or RawUpdateCodec()
         self.network = network or NetworkModel(bandwidth_mbps=10.0)
         self.local_epochs = int(local_epochs)
         self.test_dataset = test_dataset
+        self.max_workers = max_workers
+        self.participation = participation
+        self.dropout_prob = float(dropout_prob)
+        self.straggler_prob = float(straggler_prob)
+        self.straggler_slowdown = float(straggler_slowdown)
+        self.uplink = uplink
+        self.client_networks = list(networks) if networks is not None \
+            else [self.network] * n_clients
+        # seed=None means "give me a different run every time" — draw a fresh
+        # scenario seed from entropy instead of silently pinning the
+        # participant/dropout/straggler pattern to seed 0
+        self._scenario_seed = seed if seed is not None \
+            else int(np.random.SeedSequence().entropy) % (2 ** 63)
 
         shards = partition_dataset(train_dataset, n_clients, scheme=partition_scheme,
                                    alpha=dirichlet_alpha, seed=seed)
+        factors = list(compute_factors) if compute_factors is not None else [1.0] * n_clients
         self.clients = [
             FLClient(client_id=i, model=model_factory(), dataset=shard,
-                     batch_size=batch_size, lr=lr, momentum=momentum, seed=(seed or 0) + i)
+                     batch_size=batch_size, lr=lr, momentum=momentum, seed=(seed or 0) + i,
+                     compute_factor=factors[i])
             for i, shard in enumerate(shards)
         ]
         global_model: Module = model_factory()
         self.server = FedAvgServer(global_model, test_dataset)
 
     # ------------------------------------------------------------------
+    @property
+    def _full_participation(self) -> bool:
+        if self.dropout_prob or self.straggler_prob:
+            return False
+        # branch on type first: an int participation of 1 is a *count* of one
+        # client, not the 1.0 full-participation fraction
+        if isinstance(self.participation, int):
+            return self.participation == len(self.clients)
+        return self.participation == 1.0
+
+    def _participation_count(self) -> int:
+        n = len(self.clients)
+        if isinstance(self.participation, int):
+            return self.participation
+        return max(1, round(self.participation * n))
+
+    def plan_round(self, round_index: int) -> tuple[list[int], list[int], list[int]]:
+        """Seeded scenario draw for one round: (participants, dropped, stragglers).
+
+        The draw depends only on the simulation seed, the scenario knobs, and
+        ``round_index`` — never on the worker count or wall-clock — so a run is
+        reproducible at any parallelism level.
+        """
+        n = len(self.clients)
+        if self._full_participation:
+            return list(range(n)), [], []
+        rng = np.random.default_rng([self._scenario_seed, 0x5CE9A210, round_index])
+        sampled = sorted(int(i) for i in rng.choice(n, size=self._participation_count(),
+                                                    replace=False))
+        dropped = [i for i in sampled
+                   if self.dropout_prob and rng.random() < self.dropout_prob]
+        survivors = [i for i in sampled if i not in dropped]
+        stragglers = [i for i in survivors
+                      if self.straggler_prob and rng.random() < self.straggler_prob]
+        return survivors, dropped, stragglers
+
+    # ------------------------------------------------------------------
     def run_round(self, round_index: int) -> RoundRecord:
         """Execute one communication round and return its measurements."""
         global_state = self.server.global_state()
+        participants, dropped, stragglers = self.plan_round(round_index)
+        straggler_set = set(stragglers)
+        active = [self.clients[i] for i in participants]
 
-        train_times: list[float] = []
-        encode_times: list[float] = []
-        decode_times: list[float] = []
-        losses: list[float] = []
-        decoded_states: list[dict[str, np.ndarray]] = []
-        weights: list[float] = []
-        uncompressed_bytes = 0
-        transmitted_bytes = 0
-        communication_seconds = 0.0
+        updates: list[ClientUpdate] = train_clients_parallel(
+            active, global_state, epochs=self.local_epochs,
+            max_workers=self.max_workers) if active else []
 
         raw_codec = RawUpdateCodec()
-        for client in self.clients:
-            client.receive_global(global_state)
-            update = client.train_local(epochs=self.local_epochs)
-            train_times.append(update.train_seconds)
-            losses.append(update.train_loss)
 
+        def _ship(item: tuple[int, ClientUpdate]) -> tuple:
+            """Encode, transfer, and decode one client's update.
+
+            Runs per client on the worker pool so that simulated network
+            delays (``simulate_delay=True``, the paper's MPI-delay-injection
+            methodology) overlap across clients instead of sleeping serially.
+            """
+            client_id, update = item
             start = time.perf_counter()
             payload = self.codec.encode(update.state)
-            encode_times.append(time.perf_counter() - start)
-
+            encode_seconds = time.perf_counter() - start
             raw_size = len(raw_codec.encode(update.state))
-            uncompressed_bytes += raw_size
-            transmitted_bytes += len(payload)
-            communication_seconds += self.network.transfer(len(payload))
+
+            network = self.client_networks[client_id]
+            transfer_seconds = network.transfer_time(len(payload))
+            if client_id in straggler_set:
+                transfer_seconds *= self.straggler_slowdown
+            if network.simulate_delay:
+                time.sleep(transfer_seconds)
 
             start = time.perf_counter()
-            decoded = self.codec.decode(payload)
-            decode_times.append(time.perf_counter() - start)
-            decoded_states.append(decoded)
-            weights.append(update.num_samples)
+            state = self.codec.decode(payload)
+            decode_seconds = time.perf_counter() - start
+            return payload, encode_seconds, raw_size, transfer_seconds, state, decode_seconds
 
-        self.server.aggregate(decoded_states, weights)
+        shipped = map_parallel(_ship, list(zip(participants, updates)),
+                               max_workers=self.max_workers)
+        encoded = [(payload, enc, raw) for payload, enc, raw, _, _, _ in shipped]
+        transfer_times = [transfer for _, _, _, transfer, _, _ in shipped]
+        decoded = [(state, dec) for _, _, _, _, state, dec in shipped]
+
+        train_times = [
+            update.train_seconds * (self.straggler_slowdown if cid in straggler_set else 1.0)
+            for cid, update in zip(participants, updates)
+        ]
+        losses = [update.train_loss for update in updates]
+        decoded_states = [state for state, _ in decoded]
+        weights = [update.num_samples for update in updates]
+
+        self.server.aggregate(decoded_states, weights, allow_empty=True)
         start = time.perf_counter()
         accuracy = self.server.evaluate()
         validation_seconds = time.perf_counter() - start
 
+        def _mean(values: list[float]) -> float:
+            return float(np.mean(values)) if values else 0.0
+
         return RoundRecord(
             round_index=round_index,
             accuracy=accuracy,
-            mean_train_seconds=float(np.mean(train_times)),
-            mean_encode_seconds=float(np.mean(encode_times)),
-            mean_decode_seconds=float(np.mean(decode_times)),
+            mean_train_seconds=_mean(train_times),
+            mean_encode_seconds=_mean([seconds for _, seconds, _ in encoded]),
+            mean_decode_seconds=_mean([seconds for _, seconds in decoded]),
             validation_seconds=validation_seconds,
-            uncompressed_bytes=uncompressed_bytes,
-            transmitted_bytes=transmitted_bytes,
-            communication_seconds=communication_seconds,
+            uncompressed_bytes=sum(raw_size for _, _, raw_size in encoded),
+            transmitted_bytes=sum(len(payload) for payload, _, _ in encoded),
+            communication_seconds=round_communication_time(transfer_times, self.uplink),
             client_losses=losses,
+            participants=list(participants),
+            dropped_clients=list(dropped),
+            straggler_clients=list(stragglers),
         )
 
     def run(self, n_rounds: int = 10) -> SimulationResult:

@@ -3,7 +3,10 @@
 The FedSZ pipeline ships a client update as a single bitstream.  The paper uses
 ``pickle``; this reproduction uses an explicit, versioned, length-prefixed
 format instead so the layout is documented, deterministic, and safe to
-deserialize on the server side.
+deserialize on the server side.  Every declared length is bounds-checked
+against the remaining buffer, so a truncated or corrupted bitstream raises
+:class:`ValueError` instead of leaking ``struct.error`` / ``IndexError`` or
+silently returning short data.
 
 Layout (all integers little-endian):
 
@@ -30,6 +33,17 @@ __all__ = ["pack_bytes_dict", "unpack_bytes_dict", "pack_arrays", "unpack_arrays
 _MAGIC_BYTES = b"FSZB"
 _MAGIC_ARRAYS = b"FSZA"
 
+#: np.ndarray.ndim is capped at 64 in NumPy; anything larger is corruption.
+_MAX_NDIM = 64
+
+
+def _require(buf: memoryview, offset: int, needed: int, what: str) -> None:
+    """Raise ``ValueError`` unless ``needed`` bytes remain at ``offset``."""
+    if needed < 0 or offset + needed > len(buf):
+        raise ValueError(
+            f"truncated or corrupt buffer: {what} needs {needed} bytes at offset "
+            f"{offset}, but only {max(len(buf) - offset, 0)} remain")
+
 
 def _pack_str(out: list[bytes], text: str) -> None:
     raw = text.encode("utf-8")
@@ -37,9 +51,11 @@ def _pack_str(out: list[bytes], text: str) -> None:
     out.append(raw)
 
 
-def _unpack_str(buf: memoryview, offset: int) -> tuple[str, int]:
+def _unpack_str(buf: memoryview, offset: int, what: str) -> tuple[str, int]:
+    _require(buf, offset, 4, f"{what} length")
     (length,) = struct.unpack_from("<I", buf, offset)
     offset += 4
+    _require(buf, offset, length, what)
     text = bytes(buf[offset : offset + length]).decode("utf-8")
     return text, offset + length
 
@@ -59,13 +75,16 @@ def unpack_bytes_dict(data: bytes) -> dict[str, bytes]:
     buf = memoryview(data)
     if bytes(buf[:4]) != _MAGIC_BYTES:
         raise ValueError("not a packed bytes dictionary (bad magic)")
+    _require(buf, 4, 4, "entry count")
     (count,) = struct.unpack_from("<I", buf, 4)
     offset = 8
     result: dict[str, bytes] = {}
     for _ in range(count):
-        key, offset = _unpack_str(buf, offset)
+        key, offset = _unpack_str(buf, offset, "entry key")
+        _require(buf, offset, 8, f"length of value {key!r}")
         (length,) = struct.unpack_from("<Q", buf, offset)
         offset += 8
+        _require(buf, offset, length, f"value {key!r}")
         result[key] = bytes(buf[offset : offset + length])
         offset += length
     return result
@@ -95,19 +114,35 @@ def unpack_arrays(data: bytes) -> dict[str, np.ndarray]:
     buf = memoryview(data)
     if bytes(buf[:4]) != _MAGIC_ARRAYS:
         raise ValueError("not a packed array dictionary (bad magic)")
+    _require(buf, 4, 4, "entry count")
     (count,) = struct.unpack_from("<I", buf, 4)
     offset = 8
     result: dict[str, np.ndarray] = {}
     for _ in range(count):
-        key, offset = _unpack_str(buf, offset)
-        dtype_str, offset = _unpack_str(buf, offset)
+        key, offset = _unpack_str(buf, offset, "array name")
+        dtype_str, offset = _unpack_str(buf, offset, f"dtype of array {key!r}")
+        try:
+            dtype = np.dtype(dtype_str)
+        except TypeError as exc:
+            raise ValueError(f"corrupt dtype string {dtype_str!r} for array {key!r}") from exc
+        _require(buf, offset, 4, f"ndim of array {key!r}")
         (ndim,) = struct.unpack_from("<I", buf, offset)
         offset += 4
+        if ndim > _MAX_NDIM:
+            raise ValueError(f"corrupt ndim {ndim} for array {key!r} (max {_MAX_NDIM})")
+        _require(buf, offset, 8 * ndim, f"shape of array {key!r}")
         shape = struct.unpack_from(f"<{ndim}Q", buf, offset) if ndim else ()
         offset += 8 * ndim
+        _require(buf, offset, 8, f"byte length of array {key!r}")
         (length,) = struct.unpack_from("<Q", buf, offset)
         offset += 8
+        expected = int(np.prod(shape, dtype=np.uint64)) * dtype.itemsize if ndim else dtype.itemsize
+        if length != expected:
+            raise ValueError(
+                f"corrupt array record {key!r}: {length} payload bytes declared for "
+                f"shape {tuple(shape)} of dtype {dtype} ({expected} expected)")
+        _require(buf, offset, length, f"data of array {key!r}")
         raw = bytes(buf[offset : offset + length])
         offset += length
-        result[key] = np.frombuffer(raw, dtype=np.dtype(dtype_str)).reshape(shape).copy()
+        result[key] = np.frombuffer(raw, dtype=dtype).reshape(shape).copy()
     return result

@@ -1,0 +1,179 @@
+"""Truncated/corrupted bitstreams must fail loudly with ``ValueError``.
+
+Every deserializer in the update path — :func:`unpack_bytes_dict`,
+:func:`unpack_arrays`, and :meth:`FedSZCompressor.decompress_state_dict` —
+is fed inputs cut at *every* byte boundary plus targeted field corruptions,
+and must raise :class:`ValueError` (never ``struct.error`` or ``IndexError``,
+and never silently return short data).  Also covers the reserved-name
+protection: tensors named after the bitstream's own keys are rejected at
+compression time.
+"""
+
+import struct
+
+import numpy as np
+import pytest
+
+from repro.core.config import FedSZConfig
+from repro.core.pipeline import _FORMAT_VERSION, FedSZCompressor
+from repro.utils.serialization import (
+    pack_arrays,
+    pack_bytes_dict,
+    unpack_arrays,
+    unpack_bytes_dict,
+)
+
+
+def _assert_valueerror_at_every_cut(payload: bytes, unpack) -> None:
+    """Unpacking any strict prefix of ``payload`` must raise ``ValueError``."""
+    for cut in range(len(payload)):
+        with pytest.raises(ValueError):
+            unpack(payload[:cut])
+
+
+class TestBytesDictTruncation:
+    def test_every_boundary_raises_valueerror(self):
+        payload = pack_bytes_dict({"alpha": b"\x01\x02\x03", "b": b"", "gamma": b"x" * 37})
+        _assert_valueerror_at_every_cut(payload, unpack_bytes_dict)
+
+    def test_oversized_value_length_rejected(self):
+        # corrupt the u64 value-length of the single entry to claim 2**40 bytes
+        payload = bytearray(pack_bytes_dict({"k": b"abc"}))
+        length_offset = 4 + 4 + 4 + 1  # magic, count, key length, key "k"
+        payload[length_offset : length_offset + 8] = struct.pack("<Q", 2 ** 40)
+        with pytest.raises(ValueError, match="truncated or corrupt"):
+            unpack_bytes_dict(bytes(payload))
+
+    def test_oversized_key_length_rejected(self):
+        payload = bytearray(pack_bytes_dict({"k": b"abc"}))
+        payload[8:12] = struct.pack("<I", 2 ** 31)
+        with pytest.raises(ValueError, match="truncated or corrupt"):
+            unpack_bytes_dict(bytes(payload))
+
+    def test_overstated_entry_count_rejected(self):
+        payload = bytearray(pack_bytes_dict({"k": b"abc"}))
+        payload[4:8] = struct.pack("<I", 7)
+        with pytest.raises(ValueError):
+            unpack_bytes_dict(bytes(payload))
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ValueError, match="magic"):
+            unpack_bytes_dict(b"")
+
+
+class TestArraysTruncation:
+    def test_every_boundary_raises_valueerror(self):
+        payload = pack_arrays({
+            "weights": np.arange(11, dtype=np.float32),
+            "scalar": np.float64(2.5),
+            "empty": np.zeros((2, 0), np.int32),
+        })
+        _assert_valueerror_at_every_cut(payload, unpack_arrays)
+
+    def test_corrupt_dtype_string_rejected(self):
+        payload = pack_arrays({"a": np.arange(4, dtype=np.float32)})
+        corrupted = payload.replace(b"<f4", b"!!4")
+        with pytest.raises(ValueError):
+            unpack_arrays(corrupted)
+
+    def test_length_shape_mismatch_rejected(self):
+        # shrink the declared payload length: shape (4,) of float32 needs 16 bytes
+        payload = bytearray(pack_arrays({"a": np.arange(4, dtype=np.float32)}))
+        length_offset = len(payload) - 16 - 8
+        payload[length_offset : length_offset + 8] = struct.pack("<Q", 12)
+        with pytest.raises(ValueError, match="corrupt array record"):
+            unpack_arrays(bytes(payload))
+
+    def test_absurd_ndim_rejected(self):
+        out: list[bytes] = [b"FSZA", struct.pack("<I", 1)]
+        out.append(struct.pack("<I", 1) + b"a")
+        out.append(struct.pack("<I", 3) + b"<f4")
+        out.append(struct.pack("<I", 2 ** 20))  # ndim far past NumPy's limit
+        with pytest.raises(ValueError, match="ndim"):
+            unpack_arrays(b"".join(out))
+
+
+@pytest.fixture
+def fedsz_and_stream():
+    """A FedSZ compressor plus a small (few-hundred-byte) valid bitstream."""
+    fedsz = FedSZCompressor(FedSZConfig(error_bound=1e-2, threshold=16))
+    state = {
+        "conv.weight": np.linspace(-1.0, 1.0, 64).astype(np.float32),
+        "conv.bias": np.arange(4, dtype=np.float32),
+        "bn.running_mean": np.zeros(4, dtype=np.float32),
+    }
+    return fedsz, fedsz.compress_state_dict(state)
+
+
+class TestFedSZBitstreamCorruption:
+    def test_every_boundary_raises_valueerror(self, fedsz_and_stream):
+        fedsz, stream = fedsz_and_stream
+        _assert_valueerror_at_every_cut(stream, fedsz.decompress_state_dict)
+
+    def test_missing_manifest_rejected(self, fedsz_and_stream):
+        fedsz, _ = fedsz_and_stream
+        with pytest.raises(ValueError, match="manifest"):
+            fedsz.decompress_state_dict(pack_bytes_dict({"__lossless__": b""}))
+
+    def test_short_manifest_rejected(self, fedsz_and_stream):
+        fedsz, _ = fedsz_and_stream
+        stream = pack_bytes_dict({"__manifest__": b"\x01\x00"})
+        with pytest.raises(ValueError, match="manifest"):
+            fedsz.decompress_state_dict(stream)
+
+    def test_wrong_version_rejected(self, fedsz_and_stream):
+        fedsz, _ = fedsz_and_stream
+        stream = pack_bytes_dict({"__manifest__": struct.pack("<IQ", 99, 0)})
+        with pytest.raises(ValueError, match="version"):
+            fedsz.decompress_state_dict(stream)
+
+    def test_unexpected_entry_rejected(self, fedsz_and_stream):
+        fedsz, _ = fedsz_and_stream
+        stream = pack_bytes_dict({"__manifest__": struct.pack("<IQ", _FORMAT_VERSION, 1),
+                                  "rogue": b"payload"})
+        with pytest.raises(ValueError, match="unexpected entry"):
+            fedsz.decompress_state_dict(stream)
+
+    def test_entry_count_mismatch_rejected(self, fedsz_and_stream):
+        fedsz, stream = fedsz_and_stream
+        entries = unpack_bytes_dict(stream)
+        entries["__manifest__"] = struct.pack("<IQ", _FORMAT_VERSION, 99)
+        with pytest.raises(ValueError, match="declares 99"):
+            fedsz.decompress_state_dict(pack_bytes_dict(entries))
+
+    def test_not_a_bitstream_rejected(self, fedsz_and_stream):
+        fedsz, _ = fedsz_and_stream
+        with pytest.raises(ValueError):
+            fedsz.decompress_state_dict(b"this is not a fedsz bitstream")
+
+    @pytest.mark.parametrize("entry", ["__lossless__", "lossy::conv.weight"])
+    def test_inner_payload_corruption_raises_valueerror(self, fedsz_and_stream, entry):
+        # keep the outer framing valid but truncate/garble the entry itself:
+        # backend failures (zlib.error, struct.error, ...) must surface as
+        # ValueError per the documented contract
+        fedsz, stream = fedsz_and_stream
+        entries = unpack_bytes_dict(stream)
+        for corrupted in (entries[entry][: len(entries[entry]) // 2],
+                          bytes(len(entries[entry])),
+                          entries[entry][::-1]):
+            mutated = dict(entries)
+            mutated[entry] = corrupted
+            with pytest.raises(ValueError):
+                fedsz.decompress_state_dict(pack_bytes_dict(mutated))
+
+
+class TestReservedTensorNames:
+    @pytest.mark.parametrize("name", ["__manifest__", "__lossless__", "lossy::x",
+                                      "lossy::conv.weight"])
+    def test_reserved_names_rejected_at_compress_time(self, name):
+        fedsz = FedSZCompressor(FedSZConfig(error_bound=1e-2))
+        state = {name: np.zeros(8, dtype=np.float32)}
+        with pytest.raises(ValueError, match="reserved"):
+            fedsz.compress_state_dict(state)
+
+    def test_normal_dunder_like_names_still_roundtrip(self):
+        fedsz = FedSZCompressor(FedSZConfig(error_bound=1e-2))
+        state = {"__private__": np.arange(6, dtype=np.float32),
+                 "lossy_weight": np.arange(6, dtype=np.float32)}
+        recon = fedsz.decompress_state_dict(fedsz.compress_state_dict(state))
+        assert set(recon) == set(state)

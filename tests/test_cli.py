@@ -31,6 +31,30 @@ class TestParser:
         args = build_parser().parse_args(["select", "--bounds", "1e-2", "1e-4"])
         assert args.bounds == [1e-2, 1e-4]
 
+    def test_round_engine_flags(self):
+        args = build_parser().parse_args(["simulate", "--workers", "4",
+                                          "--participation", "0.5",
+                                          "--straggler", "0.2", "--dropout", "0.1"])
+        assert args.workers == 4
+        assert args.participation == 0.5
+        assert args.straggler == pytest.approx(0.2)
+        assert args.dropout == pytest.approx(0.1)
+
+    def test_round_engine_flag_defaults_are_sequential(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.workers == 1
+        assert args.participation == 1.0
+        assert args.straggler == 0.0 and args.dropout == 0.0
+
+    def test_participation_accepts_counts_and_fractions(self):
+        parse = build_parser().parse_args
+        assert parse(["simulate", "--participation", "3"]).participation == 3
+        assert isinstance(parse(["simulate", "--participation", "3"]).participation, int)
+        assert parse(["simulate", "--participation", "1"]).participation == 1.0
+        assert isinstance(parse(["simulate", "--participation", "1"]).participation, float)
+        with pytest.raises(SystemExit):
+            parse(["simulate", "--participation", "lots"])
+
 
 class TestCommands:
     def test_compress_command_output(self, capsys):
@@ -54,6 +78,26 @@ class TestCommands:
         assert "final accuracy" in out
         assert "upload volume" in out
         assert "x reduction" in out
+
+    def test_simulate_engine_range_errors_are_clean(self, capsys):
+        exit_code = main(["simulate", "--model", "mlp", "--samples", "80",
+                          "--image-size", "8", "--clients", "4", "--participation", "9"])
+        assert exit_code == 2
+        err = capsys.readouterr().err
+        assert "repro simulate: error:" in err and "participation count" in err
+
+        exit_code = main(["simulate", "--model", "mlp", "--samples", "80",
+                          "--image-size", "8", "--workers", "0"])
+        assert exit_code == 2
+        assert "max_workers" in capsys.readouterr().err
+
+    def test_simulate_with_round_engine_flags(self, capsys):
+        exit_code = main(["simulate", "--model", "mlp", "--rounds", "2", "--clients", "4",
+                          "--samples", "120", "--image-size", "8", "--workers", "2",
+                          "--participation", "0.5"])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "final accuracy" in out
 
     def test_select_command_output(self, capsys):
         exit_code = main(["select", "--model", "simplecnn", "--bounds", "1e-2"])

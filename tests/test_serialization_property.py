@@ -1,0 +1,99 @@
+"""Property-based roundtrip tests for the binary serialization helpers.
+
+Hypothesis drives :func:`pack_arrays`/:func:`unpack_arrays` and
+:func:`pack_bytes_dict`/:func:`unpack_bytes_dict` across the full dtype and
+shape space the FedSZ pipeline can produce: 0-d arrays, empty arrays and
+dicts, non-contiguous views, Fortran-ordered inputs, and every float/int
+dtype.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.utils.serialization import (
+    pack_arrays,
+    pack_bytes_dict,
+    unpack_arrays,
+    unpack_bytes_dict,
+)
+
+ALL_DTYPES = [
+    np.float16, np.float32, np.float64,
+    np.int8, np.int16, np.int32, np.int64,
+    np.uint8, np.uint16, np.uint32, np.uint64,
+]
+
+array_strategy = hnp.arrays(
+    dtype=st.sampled_from(ALL_DTYPES),
+    shape=hnp.array_shapes(min_dims=0, max_dims=4, min_side=0, max_side=6),
+)
+
+keys = st.text(min_size=0, max_size=30)
+
+
+def _assert_same(out: dict, data: dict) -> None:
+    assert list(out) == list(data)
+    for key in data:
+        expected = np.asarray(data[key])
+        np.testing.assert_array_equal(out[key], expected)
+        assert out[key].dtype == expected.dtype
+        assert out[key].shape == expected.shape
+
+
+class TestArraysProperty:
+    @settings(max_examples=120, deadline=None)
+    @given(arrays=st.dictionaries(keys, array_strategy, max_size=5))
+    def test_roundtrip_any_dtype_and_shape(self, arrays):
+        _assert_same(unpack_arrays(pack_arrays(arrays)), arrays)
+
+    @settings(max_examples=60, deadline=None)
+    @given(data=hnp.arrays(dtype=st.sampled_from(ALL_DTYPES),
+                           shape=hnp.array_shapes(min_dims=2, max_dims=3,
+                                                  min_side=1, max_side=8)))
+    def test_roundtrip_fortran_order(self, data):
+        fortran = np.asfortranarray(data)
+        out = unpack_arrays(pack_arrays({"f": fortran}))["f"]
+        np.testing.assert_array_equal(out, fortran)
+        assert out.shape == fortran.shape and out.dtype == fortran.dtype
+
+    @settings(max_examples=60, deadline=None)
+    @given(data=hnp.arrays(dtype=st.sampled_from(ALL_DTYPES),
+                           shape=st.tuples(st.integers(2, 12), st.integers(2, 12))))
+    def test_roundtrip_non_contiguous_views(self, data):
+        views = {"strided": data[::2, ::2], "reversed": data[::-1], "column": data[:, 0]}
+        _assert_same(unpack_arrays(pack_arrays(views)), views)
+
+    def test_empty_dict(self):
+        assert unpack_arrays(pack_arrays({})) == {}
+
+    def test_zero_d_arrays_keep_shape(self):
+        for dtype in ALL_DTYPES:
+            out = unpack_arrays(pack_arrays({"s": np.array(3, dtype=dtype)}))["s"]
+            assert out.shape == () and out.dtype == np.dtype(dtype)
+            assert out == np.array(3, dtype=dtype)
+
+    def test_empty_arrays_keep_shape(self):
+        data = {"a": np.zeros((0,), np.float32), "b": np.zeros((3, 0, 2), np.int64)}
+        _assert_same(unpack_arrays(pack_arrays(data)), data)
+
+    def test_float_specials_roundtrip(self):
+        data = {"specials": np.array([np.nan, np.inf, -np.inf, -0.0, 5e-324, 1e308])}
+        out = unpack_arrays(pack_arrays(data))["specials"]
+        np.testing.assert_array_equal(out, data["specials"])  # NaN-aware equality
+
+
+class TestBytesDictProperty:
+    @settings(max_examples=120, deadline=None)
+    @given(entries=st.dictionaries(keys, st.binary(max_size=200), max_size=8))
+    def test_roundtrip_preserves_entries_and_order(self, entries):
+        out = unpack_bytes_dict(pack_bytes_dict(entries))
+        assert out == entries
+        assert list(out) == list(entries)
+
+    @settings(max_examples=60, deadline=None)
+    @given(key=st.text(min_size=1, max_size=60), value=st.binary(max_size=64))
+    def test_single_entry_roundtrip(self, key, value):
+        assert unpack_bytes_dict(pack_bytes_dict({key: value})) == {key: value}
