@@ -70,14 +70,21 @@ def dataset_channels(dataset: str) -> int:
     return 1 if dataset == "fmnist" else 3
 
 
-def build_paper_model(name: str, dataset: str = "cifar10", image_size: int = 32, seed: int = 0):
-    """Instantiate one of the paper's models for the named dataset's input shape."""
+def build_paper_model(name: str, dataset: str = "cifar10", image_size: int = 32, seed: int = 0,
+                      **model_kwargs: object):
+    """Instantiate one of the paper's models for the named dataset's input shape.
+
+    ``model_kwargs`` are forwarded to the architecture (e.g. ``width`` /
+    ``blocks_per_stage`` to rebuild a network at the paper's full size rather
+    than this repo's CPU-scaled default).
+    """
     num_classes = 101 if dataset == "caltech101" else 10
     return build_model(name, num_classes=num_classes, in_channels=dataset_channels(dataset),
-                       image_size=image_size, seed=seed)
+                       image_size=image_size, seed=seed, **model_kwargs)
 
 
-def trained_like_state(name: str, dataset: str = "cifar10", seed: int = 0) -> dict[str, np.ndarray]:
+def trained_like_state(name: str, dataset: str = "cifar10", seed: int = 0,
+                       **model_kwargs: object) -> dict[str, np.ndarray]:
     """A model state dict with trained-looking statistics.
 
     Freshly initialized weights are uniform (He init); trained networks
@@ -87,7 +94,7 @@ def trained_like_state(name: str, dataset: str = "cifar10", seed: int = 0) -> di
     statistics are filled with plausible non-zero values so the lossless
     (metadata) partition carries realistic float data as well.
     """
-    model = build_paper_model(name, dataset, seed=seed)
+    model = build_paper_model(name, dataset, seed=seed, **model_kwargs)
     rng = np.random.default_rng(seed + 17)
     state = model.state_dict()
     for key, value in state.items():

@@ -59,6 +59,15 @@ def _participation_value(text: str) -> "float | int":
     return value
 
 
+def _add_entropy_arguments(parser: argparse.ArgumentParser) -> None:
+    """Knobs of the SZ2/SZ3 chunked Huffman entropy stage."""
+    parser.add_argument("--entropy-chunk", type=int, default=FedSZConfig.entropy_chunk,
+                        help="max symbols per independently-decodable Huffman chunk")
+    parser.add_argument("--entropy-workers", type=int, default=FedSZConfig.entropy_workers,
+                        help="Huffman decode threads (1 = the sequential reference "
+                             "decoder, >1 = banded vectorized decoding)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the top-level argument parser."""
     parser = argparse.ArgumentParser(prog="repro", description=__doc__,
@@ -70,6 +79,7 @@ def build_parser() -> argparse.ArgumentParser:
     compress.add_argument("--bound", type=float, default=1e-2, help="relative error bound")
     compress.add_argument("--compressor", default="sz2", choices=("sz2", "sz3", "szx", "zfp"))
     compress.add_argument("--lossless", default="blosclz", help="lossless codec for metadata")
+    _add_entropy_arguments(compress)
 
     simulate = sub.add_parser("simulate", help="run a small FedAvg simulation")
     simulate.add_argument("--model", default="simplecnn", choices=available_models())
@@ -90,6 +100,7 @@ def build_parser() -> argparse.ArgumentParser:
                           help="per-round probability that a client straggles (4x slowdown)")
     simulate.add_argument("--dropout", type=float, default=0.0,
                           help="per-round probability that a sampled client drops out")
+    _add_entropy_arguments(simulate)
 
     select = sub.add_parser("select", help="profile EBLC candidates on a model's weights")
     select.add_argument("--model", default="resnet50", choices=available_models())
@@ -102,8 +113,13 @@ def build_parser() -> argparse.ArgumentParser:
 def _cmd_compress(args: argparse.Namespace) -> int:
     model = build_model(args.model, num_classes=10, in_channels=3, image_size=32)
     state = model.state_dict()
-    config = FedSZConfig(lossy_compressor=args.compressor, error_bound=args.bound,
-                         lossless_codec=args.lossless)
+    try:
+        config = FedSZConfig(lossy_compressor=args.compressor, error_bound=args.bound,
+                             lossless_codec=args.lossless, entropy_chunk=args.entropy_chunk,
+                             entropy_workers=args.entropy_workers)
+    except ValueError as exc:
+        print(f"repro compress: error: {exc}", file=sys.stderr)
+        return 2
     fedsz = FedSZCompressor(config)
     payload = fedsz.compress_state_dict(state)
     restored = fedsz.decompress_state_dict(payload)
@@ -132,8 +148,14 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
                            image_size=args.image_size, seed=0)
 
     network = NetworkModel(bandwidth_mbps=args.bandwidth)
+    try:
+        fedsz_config = FedSZConfig(error_bound=args.bound, entropy_chunk=args.entropy_chunk,
+                                   entropy_workers=args.entropy_workers)
+    except ValueError as exc:
+        print(f"repro simulate: error: {exc}", file=sys.stderr)
+        return 2
     codecs = {"uncompressed": RawUpdateCodec(),
-              "fedsz": FedSZUpdateCodec(FedSZConfig(error_bound=args.bound))}
+              "fedsz": FedSZUpdateCodec(fedsz_config)}
     results = {}
     for label, codec in codecs.items():
         try:

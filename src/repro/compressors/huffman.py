@@ -1,4 +1,4 @@
-"""Canonical Huffman coding of integer symbol streams.
+"""Chunked canonical Huffman coding of integer symbol streams.
 
 SZ2 and SZ3 entropy-code their quantization indices with Huffman before the
 final lossless stage.  This module provides a self-contained canonical Huffman
@@ -11,6 +11,40 @@ coder over non-negative integer symbols:
 * table-driven decoding (a flat lookup table indexed by ``MAX_CODE_LENGTH``-bit
   windows, the classic fast canonical decoder).
 
+Bitstream format (version 3)
+----------------------------
+
+The symbol stream is split into fixed-size chunks that share one global code
+table but are *independently decodable*: a per-chunk ``(bit_offset,
+symbol_count)`` index in the header lets the decoder enter the bitstream at
+any chunk boundary.  All integers little-endian::
+
+    4s    magic b"HUF3"
+    u32   CRC-32 of everything after this field
+    u32   alphabet size A
+    u64   total symbol count
+    u32   chunk size (symbols per full chunk)
+    u32   number of chunks
+    u8[A] per-symbol code lengths (0 = unused symbol)
+    per chunk: u64 bit offset, u64 symbol count
+    u64   total bit count
+    u8[]  packed code bits (MSB-first)
+
+The chunk index is what makes the decode side parallel *and* vectorizable:
+
+* ``max_workers=1`` decodes with the strictly sequential per-symbol reference
+  loop (the deterministic baseline the tests pin the fast path against),
+* ``max_workers>1`` splits the chunk list into bands, dispatches the bands to
+  a thread pool (:func:`repro.utils.parallel.map_parallel`), and decodes all
+  chunks of a band simultaneously as one vectorized NumPy "row walk": each
+  step advances every chunk's bit cursor by one decoded symbol, so the
+  sequential dependency only spans a chunk, not the stream.
+
+A corrupted or truncated payload always raises :class:`ValueError`: every
+header field is bounds-checked, the CRC covers the whole payload, an unused
+lookup-table window (a code that exists in no symbol's prefix set) is
+detected, and every chunk must decode to exactly its recorded boundary.
+
 The encoded payload is self-describing: it stores the code-length table so the
 decoder needs no side channel.
 """
@@ -18,14 +52,39 @@ decoder needs no side channel.
 from __future__ import annotations
 
 import heapq
+import os
 import struct
+import zlib
 
 import numpy as np
 
-__all__ = ["HuffmanCoder", "MAX_CODE_LENGTH"]
+from repro.utils.parallel import map_parallel, resolve_worker_count
+
+__all__ = ["HuffmanCoder", "MAX_CODE_LENGTH", "DEFAULT_CHUNK_SYMBOLS"]
 
 #: Longest permitted codeword.  16 keeps the decode lookup table at 64K entries.
 MAX_CODE_LENGTH = 16
+
+#: Default (and cap) for symbols per chunk.  Streams much smaller than
+#: ``DEFAULT_CHUNK_SYMBOLS * _TARGET_CHUNKS`` get proportionally smaller chunks
+#: so the vectorized decoder still sees enough chunks to amortize per-step
+#: dispatch overhead across a wide row.
+DEFAULT_CHUNK_SYMBOLS = 1 << 16
+
+#: The encoder aims for about this many chunks per stream (bounded by
+#: ``chunk_size`` above and ``_MIN_CHUNK_SYMBOLS`` below).  More chunks mean a
+#: wider vectorized row walk and more thread-pool parallelism; fewer chunks
+#: mean less per-chunk index overhead (16 bytes each).
+_TARGET_CHUNKS = 512
+_MIN_CHUNK_SYMBOLS = 1024
+
+#: Below this many chunks the vectorized row walk is narrower than its own
+#: per-step dispatch overhead; fall back to the scalar reference loop.
+_MIN_VECTOR_CHUNKS = 8
+
+_MAGIC = b"HUF3"
+_HEADER = struct.Struct("<IQII")  # alphabet, count, chunk_size, n_chunks
+_PREFIX_LEN = 8                   # magic + crc32
 
 
 def _build_code_lengths(frequencies: np.ndarray) -> np.ndarray:
@@ -106,29 +165,97 @@ def _canonical_codes(lengths: np.ndarray) -> np.ndarray:
     return codes
 
 
+def _corrupt(detail: str) -> ValueError:
+    return ValueError(f"corrupt Huffman stream: {detail}")
+
+
+def _require(payload: bytes, offset: int, needed: int, what: str) -> None:
+    """Raise ``ValueError`` unless ``needed`` bytes remain at ``offset``."""
+    if needed < 0 or offset + needed > len(payload):
+        raise _corrupt(f"{what} needs {needed} bytes at offset {offset}, "
+                       f"but only {max(len(payload) - offset, 0)} remain")
+
+
+def _build_decode_tables(lengths: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Flat ``(symbol, code length)`` lookup tables over all 16-bit windows.
+
+    Canonical codes are assigned in (length, symbol) order, which makes the
+    per-code window ranges ``[code << pad, (code + 1) << pad)`` abut exactly
+    starting at 0 — the whole table is two :func:`numpy.repeat` calls.  Window
+    values past the covered range (possible when Kraft mass was clamped away)
+    keep length 0, the decoder's "no such code" trap.
+    """
+    used = np.flatnonzero(lengths)
+    if used.size == 0:
+        raise _corrupt("empty code-length table for a non-empty stream")
+    if int(lengths[used].max()) > MAX_CODE_LENGTH:
+        raise _corrupt(f"code length exceeds {MAX_CODE_LENGTH}")
+    order = used[np.lexsort((used, lengths[used]))]
+    spans = np.int64(1) << (MAX_CODE_LENGTH - lengths[order])
+    covered = int(spans.sum())
+    if covered > (1 << MAX_CODE_LENGTH):
+        raise _corrupt("code-length table violates the Kraft inequality")
+    table_sym = np.zeros(1 << MAX_CODE_LENGTH, dtype=np.int64)
+    table_len = np.zeros(1 << MAX_CODE_LENGTH, dtype=np.int64)
+    table_sym[:covered] = np.repeat(order, spans)
+    table_len[:covered] = np.repeat(lengths[order], spans)
+    return table_sym, table_len
+
+
+def _byte_windows(bit_bytes: np.ndarray, pad_bytes: int) -> np.ndarray:
+    """24-bit big-endian windows starting at every byte, zero-padded at the end.
+
+    The 16-bit decode window at bit position ``p`` is
+    ``(w24[p >> 3] >> (8 - (p & 7))) & 0xFFFF``.
+    """
+    padded = np.concatenate([bit_bytes, np.zeros(pad_bytes, dtype=np.uint8)]).astype(np.int64)
+    return (padded[:-2] << 16) | (padded[1:-1] << 8) | padded[2:]
+
+
 class HuffmanCoder:
-    """Encode/decode streams of non-negative integer symbols."""
+    """Encode/decode streams of non-negative integer symbols.
+
+    ``chunk_size`` caps the number of symbols per chunk (the encoder may pick
+    smaller chunks for short streams, see :data:`_TARGET_CHUNKS`).
+    ``max_workers`` is the default decode concurrency: ``1`` selects the
+    sequential reference decoder, larger values (or ``None`` for the executor
+    default) the banded vectorized decoder.  Both produce bit-identical
+    symbol arrays; instances are stateless per call and thread-safe.
+    """
+
+    def __init__(self, chunk_size: int = DEFAULT_CHUNK_SYMBOLS,
+                 max_workers: int | None = 1) -> None:
+        if not 1 <= chunk_size <= 0xFFFFFFFF:
+            raise ValueError("chunk_size must be in [1, 2**32 - 1] (stored as u32)")
+        if max_workers is not None and max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        self.chunk_size = int(chunk_size)
+        self.max_workers = max_workers
+
+    # ------------------------------------------------------------------
+    def _effective_chunk(self, count: int) -> int:
+        """Symbols per chunk for a ``count``-symbol stream (never above the cap)."""
+        return min(self.chunk_size, max(_MIN_CHUNK_SYMBOLS, count // _TARGET_CHUNKS))
 
     def encode(self, symbols: np.ndarray) -> bytes:
         """Encode ``symbols`` (any integer dtype, values >= 0) to bytes."""
         symbols = np.ascontiguousarray(symbols).ravel()
         if symbols.size and symbols.min() < 0:
             raise ValueError("Huffman symbols must be non-negative")
-        if symbols.size == 0:
-            return struct.pack("<IQ", 0, 0)
+        count = symbols.size
+        if count == 0:
+            body = _HEADER.pack(0, 0, self.chunk_size, 0) + struct.pack("<Q", 0)
+            return _MAGIC + struct.pack("<I", zlib.crc32(body)) + body
         symbols = symbols.astype(np.int64, copy=False)
         alphabet = int(symbols.max()) + 1
         freqs = np.bincount(symbols, minlength=alphabet)
         lengths = _build_code_lengths(freqs)
         codes = _canonical_codes(lengths)
 
-        # header: alphabet size, symbol count, then 4-bit-packed... keep simple: u8 lengths
-        header = struct.pack("<IQ", alphabet, symbols.size)
-        header += lengths.astype(np.uint8).tobytes()
-
         sym_lengths = lengths[symbols]
         sym_codes = codes[symbols].astype(np.uint64)
-        total_bits = int(sym_lengths.sum())
+        bit_ends = np.cumsum(sym_lengths)
+        total_bits = int(bit_ends[-1])
         max_len = int(lengths.max())
 
         # Emit every code MSB-first into a flat bit array in one vectorized pass.
@@ -140,62 +267,210 @@ class HuffmanCoder:
         flat_bits = bits[valid]
         assert flat_bits.size == total_bits
         packed = np.packbits(flat_bits)
-        return header + struct.pack("<Q", total_bits) + packed.tobytes()
 
-    def decode(self, payload: bytes) -> np.ndarray:
-        """Decode a byte string produced by :meth:`encode` back to ``int64``."""
-        alphabet, count = struct.unpack_from("<IQ", payload, 0)
-        offset = 12
-        if count == 0:
-            return np.zeros(0, dtype=np.int64)
-        lengths = np.frombuffer(payload, dtype=np.uint8, count=alphabet, offset=offset).astype(np.int64)
+        # Per-chunk index: where each chunk starts in the bit stream and how
+        # many symbols it holds.  Chunks share the global code table but are
+        # independently decodable from their recorded offsets.
+        chunk = self._effective_chunk(count)
+        starts = np.arange(0, count, chunk, dtype=np.int64)
+        offsets = np.zeros(starts.size, dtype=np.uint64)
+        offsets[1:] = bit_ends[starts[1:] - 1].astype(np.uint64)
+        index = np.empty((starts.size, 2), dtype="<u8")
+        index[:, 0] = offsets
+        index[:, 1] = np.minimum(chunk, count - starts).astype(np.uint64)
+
+        body = _HEADER.pack(alphabet, count, chunk, starts.size)
+        body += lengths.astype(np.uint8).tobytes()
+        body += index.tobytes()
+        body += struct.pack("<Q", total_bits) + packed.tobytes()
+        return _MAGIC + struct.pack("<I", zlib.crc32(body)) + body
+
+    # ------------------------------------------------------------------
+    def _parse_header(self, payload: bytes):
+        """Validate the v3 container and return its parsed fields.
+
+        Every declared length is bounds-checked against the remaining buffer
+        (truncation can never surface as ``struct.error`` or ``IndexError``)
+        and the CRC covers everything after itself, so any byte flip in the
+        payload is detected here.
+        """
+        _require(payload, 0, _PREFIX_LEN + _HEADER.size, "header")
+        if payload[:4] != _MAGIC:
+            raise _corrupt("bad magic (not a version-3 Huffman stream)")
+        (crc_stored,) = struct.unpack_from("<I", payload, 4)
+        if zlib.crc32(memoryview(payload)[_PREFIX_LEN:]) != crc_stored:
+            raise _corrupt("CRC-32 mismatch")
+        alphabet, count, chunk_size, n_chunks = _HEADER.unpack_from(payload, _PREFIX_LEN)
+        offset = _PREFIX_LEN + _HEADER.size
+
+        _require(payload, offset, alphabet, "code-length table")
+        lengths = np.frombuffer(payload, dtype=np.uint8, count=alphabet,
+                                offset=offset).astype(np.int64)
         offset += alphabet
+
+        _require(payload, offset, 16 * n_chunks, "chunk index")
+        index = np.frombuffer(payload, dtype="<u8", count=2 * n_chunks,
+                              offset=offset).reshape(n_chunks, 2).astype(np.int64)
+        offset += 16 * n_chunks
+
+        _require(payload, offset, 8, "total bit count")
         (total_bits,) = struct.unpack_from("<Q", payload, offset)
         offset += 8
-        bit_bytes = np.frombuffer(payload, dtype=np.uint8, offset=offset)
-        bits = np.unpackbits(bit_bytes)[:total_bits]
+        if len(payload) - offset != (total_bits + 7) // 8:
+            raise _corrupt(f"bit stream holds {len(payload) - offset} bytes but "
+                           f"{total_bits} bits are declared")
 
-        codes = _canonical_codes(lengths)
-        used = np.flatnonzero(lengths)
-        if used.size == 1:
-            return np.full(count, int(used[0]), dtype=np.int64)
+        if count == 0:
+            if n_chunks != 0 or total_bits != 0:
+                raise _corrupt("empty stream declares chunks or bits")
+            return lengths, index, 0, 0, offset
+        if chunk_size < 1 or n_chunks != -(-count // chunk_size):
+            raise _corrupt(f"{n_chunks} chunks cannot cover {count} symbols "
+                           f"at {chunk_size} symbols per chunk")
+        sym_counts = index[:, 1]
+        expected = np.full(n_chunks, chunk_size, dtype=np.int64)
+        expected[-1] = count - (n_chunks - 1) * chunk_size
+        if not np.array_equal(sym_counts, expected):
+            raise _corrupt("chunk symbol counts disagree with the stream length")
+        bit_offsets = index[:, 0]
+        spans = np.diff(np.concatenate([bit_offsets, [total_bits]]))
+        if bit_offsets[0] != 0 or np.any(spans < sym_counts) or \
+                np.any(spans > sym_counts * MAX_CODE_LENGTH):
+            raise _corrupt("chunk bit offsets are inconsistent with their symbol counts")
+        return lengths, index, count, total_bits, offset
 
-        # Fast canonical decoding: a lookup table indexed by the next
-        # MAX_CODE_LENGTH bits gives (symbol, code length) directly.
-        table_sym = np.zeros(1 << MAX_CODE_LENGTH, dtype=np.int64)
-        table_len = np.zeros(1 << MAX_CODE_LENGTH, dtype=np.int64)
-        for sym in used:
-            length = int(lengths[sym])
-            code = int(codes[sym])
-            pad = MAX_CODE_LENGTH - length
-            start = code << pad
-            end = (code + 1) << pad
-            table_sym[start:end] = sym
-            table_len[start:end] = length
+    def decode(self, payload: bytes, max_workers: int | None = None) -> np.ndarray:
+        """Decode a byte string produced by :meth:`encode` back to ``int64``.
 
-        # Pad the bitstream so windows never run off the end, then precompute
-        # the MAX_CODE_LENGTH-bit window value at every bit offset in one
-        # vectorized pass; the sequential decode loop below is then just two
-        # table lookups per symbol.
-        padded = np.concatenate([bits, np.zeros(MAX_CODE_LENGTH, dtype=np.uint8)])
-        weights = (1 << np.arange(MAX_CODE_LENGTH - 1, -1, -1)).astype(np.int64)
-        windows = np.lib.stride_tricks.sliding_window_view(padded, MAX_CODE_LENGTH)
-        window_vals = windows.astype(np.int64) @ weights
+        ``max_workers`` overrides the instance default for this call; ``1``
+        runs the sequential reference decoder, more the banded vectorized one
+        (identical output either way).
+        """
+        lengths, index, count, total_bits, bits_at = self._parse_header(payload)
+        if count == 0:
+            return np.zeros(0, dtype=np.int64)
+        table_sym, table_len = _build_decode_tables(lengths)
 
+        n_chunks = index.shape[0]
+        bit_offsets = index[:, 0]
+        sym_counts = index[:, 1]
+        sym_starts = np.concatenate([[0], np.cumsum(sym_counts)[:-1]])
+        chunk_ends = np.concatenate([bit_offsets[1:], [total_bits]])
+        bit_bytes = np.frombuffer(payload, dtype=np.uint8, offset=bits_at)
+
+        workers = self.max_workers if max_workers is None else max_workers
+        workers = resolve_worker_count(workers, n_chunks)
         out = np.empty(count, dtype=np.int64)
-        pos = 0
+        if workers == 1 or n_chunks < _MIN_VECTOR_CHUNKS:
+            self._decode_scalar(bit_bytes, bit_offsets, sym_counts, sym_starts,
+                                chunk_ends, table_sym, table_len, out)
+            return out
+
+        # Band the chunks and fan the bands out over the worker pool.  Never
+        # split finer than the core count: a band's cost is dominated by its
+        # per-step dispatch overhead, so extra narrower bands only help while
+        # they actually run concurrently.
+        n_bands = max(1, min(workers, os.cpu_count() or 1,
+                             n_chunks // _MIN_VECTOR_CHUNKS))
+        edges = np.linspace(0, n_chunks, n_bands + 1).astype(int)
+        steps_cap = int(sym_counts.max())
+        # Pad the byte windows so a corrupt stream can drift up to
+        # MAX_CODE_LENGTH bits per step past the end without an out-of-bounds
+        # gather; the drift itself is caught by the chunk-boundary check.
+        w24 = _byte_windows(bit_bytes, 3 + (steps_cap * MAX_CODE_LENGTH + 7) // 8)
+        comb = (table_sym << 5) | table_len
+
+        def _run_band(band: tuple[int, int]) -> None:
+            lo, hi = band
+            self._decode_band_vectorized(
+                w24, comb, bit_offsets[lo:hi], sym_counts[lo:hi],
+                sym_starts[lo:hi], chunk_ends[lo:hi], out)
+
+        bands = [(int(edges[b]), int(edges[b + 1])) for b in range(n_bands)
+                 if edges[b] < edges[b + 1]]
+        map_parallel(_run_band, bands, max_workers=workers)
+        return out
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _decode_scalar(bit_bytes: np.ndarray, bit_offsets: np.ndarray,
+                       sym_counts: np.ndarray, sym_starts: np.ndarray,
+                       chunk_ends: np.ndarray, table_sym: np.ndarray,
+                       table_len: np.ndarray, out: np.ndarray) -> None:
+        """Sequential per-symbol reference decoder (``max_workers=1``)."""
+        w24 = _byte_windows(bit_bytes, 3)
         tbl_sym = table_sym.tolist()
         tbl_len = table_len.tolist()
-        win = window_vals.tolist()
-        # Decoding is inherently sequential (the next position depends on the
-        # decoded length); keep the loop body minimal.
-        for i in range(count):
-            idx = win[pos]
-            out[i] = tbl_sym[idx]
-            pos += tbl_len[idx]
-        if pos > total_bits:
-            raise ValueError("corrupt Huffman stream: decoded past end of data")
-        return out
+        for c in range(bit_offsets.size):
+            start, end = int(bit_offsets[c]), int(chunk_ends[c])
+            n_syms = int(sym_counts[c])
+            byte0 = start >> 3
+            local = w24[byte0:((end - 1) >> 3) + 2].tolist()
+            pos = start - (byte0 << 3)
+            rel_end = end - (byte0 << 3)
+            decoded = [0] * n_syms
+            for i in range(n_syms):
+                if pos >= rel_end:
+                    raise _corrupt("chunk decoded past its recorded boundary")
+                window = (local[pos >> 3] >> (8 - (pos & 7))) & 0xFFFF
+                length = tbl_len[window]
+                if length == 0:
+                    raise _corrupt("bit window matches no codeword")
+                decoded[i] = tbl_sym[window]
+                pos += length
+            if pos != rel_end:
+                raise _corrupt("chunk did not decode to its recorded boundary")
+            base = int(sym_starts[c])
+            out[base:base + n_syms] = decoded
+
+    @staticmethod
+    def _decode_band_vectorized(w24: np.ndarray, comb: np.ndarray,
+                                bit_offsets: np.ndarray, sym_counts: np.ndarray,
+                                sym_starts: np.ndarray, chunk_ends: np.ndarray,
+                                out: np.ndarray) -> None:
+        """Decode one band of chunks as a vectorized row walk.
+
+        Every step advances all chunk cursors by one symbol: gather the 16-bit
+        window under each cursor, look up ``(symbol << 5) | length`` in the
+        combined table, store the row, advance.  An unused window entry has
+        length 0, so a corrupt chunk's cursor stalls (or drifts) and fails the
+        final boundary comparison.
+        """
+        width = bit_offsets.size
+        cursors = bit_offsets.astype(np.int64).copy()
+        steps = int(sym_counts.max())
+        decoded = np.empty((steps, width), dtype=np.int64)
+        # Chunk sizes are uniform except for the stream's trailing chunk; its
+        # cursor is snapshotted when it runs out of symbols (the row keeps
+        # walking harmlessly inside the padded windows, and its surplus
+        # symbols are never copied out).
+        short_rows = {int(r): int(sym_counts[r])
+                      for r in np.flatnonzero(sym_counts < steps)}
+        frozen: dict[int, int] = {}
+        shifts = np.empty(width, dtype=np.int64)
+        windows = np.empty(width, dtype=np.int64)
+        for step in range(steps):
+            for row, row_syms in short_rows.items():
+                if step == row_syms:
+                    frozen[row] = int(cursors[row])
+            np.right_shift(cursors, 3, out=shifts)
+            np.take(w24, shifts, out=windows)
+            np.bitwise_and(cursors, 7, out=shifts)
+            np.subtract(8, shifts, out=shifts)
+            np.right_shift(windows, shifts, out=windows)
+            np.bitwise_and(windows, 0xFFFF, out=windows)
+            row_out = decoded[step]
+            np.take(comb, windows, out=row_out)
+            np.bitwise_and(row_out, 31, out=shifts)
+            cursors += shifts
+        for row, cursor in frozen.items():
+            cursors[row] = cursor
+        if not np.array_equal(cursors, chunk_ends):
+            raise _corrupt("chunk did not decode to its recorded boundary")
+        for c in range(width):
+            n_syms = int(sym_counts[c])
+            base = int(sym_starts[c])
+            out[base:base + n_syms] = decoded[:n_syms, c] >> 5
 
     def decode_with_table(self, payload: bytes) -> np.ndarray:
         """Alias of :meth:`decode` kept for API symmetry with fast decoders."""

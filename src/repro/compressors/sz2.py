@@ -34,7 +34,7 @@ import struct
 import numpy as np
 
 from repro.compressors.base import ErrorBound, ErrorBoundMode, LossyCompressor
-from repro.compressors.huffman import HuffmanCoder
+from repro.compressors.huffman import DEFAULT_CHUNK_SYMBOLS, HuffmanCoder
 from repro.compressors.lossless import LosslessCodec, get_lossless
 from repro.compressors.predictors import (
     block_mean_predictor,
@@ -55,13 +55,17 @@ class SZ2Compressor(LossyCompressor):
     def __init__(self, error_bound: ErrorBound | float = 1e-2,
                  mode: ErrorBoundMode | str = ErrorBoundMode.REL,
                  block_size: int = 128, quantizer_radius: int = 32768,
-                 lossless_backend: str | LosslessCodec = "zlib") -> None:
+                 lossless_backend: str | LosslessCodec = "zlib",
+                 entropy_chunk: int = DEFAULT_CHUNK_SYMBOLS,
+                 entropy_workers: int | None = 1) -> None:
         super().__init__(error_bound, mode)
         if block_size < 2:
             raise ValueError("block_size must be >= 2")
         self.block_size = int(block_size)
         self.quantizer = LinearQuantizer(quantizer_radius)
-        self.huffman = HuffmanCoder()
+        # entropy_chunk caps the symbols per Huffman chunk; entropy_workers=1
+        # is the sequential reference decoder, >1 the banded vectorized one.
+        self.huffman = HuffmanCoder(chunk_size=entropy_chunk, max_workers=entropy_workers)
         if isinstance(lossless_backend, LosslessCodec):
             self.lossless = lossless_backend
         else:

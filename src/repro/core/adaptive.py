@@ -7,9 +7,10 @@ same way, even though a perturbation of the former moves the network's output
 far more per element.  :class:`AdaptiveBoundPolicy` assigns every lossy tensor
 its own relative bound:
 
-* tensors are ranked by a sensitivity proxy (``1 / sqrt(fan_in)`` scaled by the
-  tensor's share of the parameter count — small, high-leverage tensors get
-  tighter bounds),
+* tensors are ranked by their share of the parameter count: the largest tensor
+  keeps the base bound and smaller tensors get bounds shrunk by
+  ``(size / largest_size) ** size_exponent``, so small, high-leverage tensors
+  are perturbed least,
 * bounds are clamped to ``[min_bound, base_bound]`` so no tensor is ever
   compressed more aggressively than the user's requested operating point.
 
@@ -27,7 +28,7 @@ import numpy as np
 
 from repro.compressors.registry import get_lossy
 from repro.core.config import FedSZConfig
-from repro.core.pipeline import FedSZCompressor
+from repro.core.pipeline import FedSZCompressor, lossy_kwargs_from_config
 
 __all__ = ["AdaptiveBoundPolicy", "AdaptiveFedSZCompressor"]
 
@@ -93,7 +94,7 @@ class AdaptiveFedSZCompressor(FedSZCompressor):
                 name, bound = next(self._iter)
                 compressor = get_lossy(self._outer.config.lossy_compressor,
                                        error_bound=bound, mode=self._outer.config.error_mode,
-                                       **self._outer.config.lossy_options)
+                                       **lossy_kwargs_from_config(self._outer.config))
                 return compressor.compress(array)
 
             def decompress(self, payload: bytes) -> np.ndarray:  # pragma: no cover - unused here

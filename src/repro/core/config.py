@@ -26,7 +26,12 @@ class FedSZConfig:
       are cheaper to ship losslessly than to compress,
     * ``lossy_name_tokens`` — substrings of the state-dict key that mark a
       tensor as a candidate for lossy compression (Algorithm 1 checks for
-      ``"weight"``).
+      ``"weight"``),
+    * ``entropy_chunk`` / ``entropy_workers`` — chunking and decode
+      concurrency of the SZ2/SZ3 Huffman entropy stage: ``entropy_chunk``
+      caps the symbols per independently-decodable chunk, ``entropy_workers=1``
+      selects the sequential reference decoder, larger values the banded
+      vectorized decoder on a thread pool (bit-identical output).
     """
 
     lossy_compressor: str = "sz2"
@@ -35,6 +40,8 @@ class FedSZConfig:
     lossless_codec: str = "blosclz"
     threshold: int = 1024
     lossy_name_tokens: tuple[str, ...] = ("weight",)
+    entropy_chunk: int = 65536
+    entropy_workers: int = 1
     lossy_options: dict = field(default_factory=dict)
     lossless_options: dict = field(default_factory=dict)
 
@@ -43,6 +50,10 @@ class FedSZConfig:
             raise ValueError("error_bound must be positive")
         if self.threshold < 0:
             raise ValueError("threshold must be non-negative")
+        if self.entropy_chunk < 1:
+            raise ValueError("entropy_chunk must be >= 1")
+        if self.entropy_workers < 1:
+            raise ValueError("entropy_workers must be >= 1")
         if isinstance(self.error_mode, str):
             self.error_mode = ErrorBoundMode(self.error_mode)
 

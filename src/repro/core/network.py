@@ -65,8 +65,9 @@ def crossover_bandwidth(compress_s: float, decompress_s: float, original_bytes: 
     """Bandwidth (Mbps) at which compression stops being worthwhile.
 
     Below the returned bandwidth compression wins; above it the fixed
-    compression cost dominates (Figure 8).  Returns ``inf`` when compression is
-    free or removes no bytes are saved.
+    compression cost dominates (Figure 8).  Returns ``inf`` when compression
+    costs no time (always worthwhile) and ``0.0`` when it saves no bytes
+    (never worthwhile).
     """
     saved_bytes = original_bytes - compressed_bytes
     overhead = compress_s + decompress_s

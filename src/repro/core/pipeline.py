@@ -32,16 +32,33 @@ from repro.utils.serialization import pack_arrays, pack_bytes_dict, unpack_array
 
 __all__ = ["FedSZCompressor", "FedSZReport"]
 
-#: bumped to 2 when the per-compressor payload layouts changed (SZ3 anchor
-#: dtype flag, ZFP verbatim-block trailer, SZx verbatim width escape) so
-#: version-1 bitstreams fail the version check instead of misparsing
-_FORMAT_VERSION = 2
+#: bumped to 3 when the SZ2/SZ3 Huffman entropy stage switched to the chunked
+#: version-3 bitstream (magic + CRC-32 + per-chunk index); version-2 streams
+#: fail the version check instead of misparsing.  2 covered the SZ3 anchor
+#: dtype flag, ZFP verbatim-block trailer, and SZx verbatim width escape.
+_FORMAT_VERSION = 3
+#: Lossy compressors whose payloads carry a Huffman entropy stage and
+#: therefore accept the ``entropy_chunk``/``entropy_workers`` knobs.
+_ENTROPY_CODED = ("sz2", "sz3")
 #: Outer-bitstream keys owned by the format itself.  Tensor names may not
 #: collide with them (or with the ``lossy::`` namespace prefix) — a state dict
 #: using them is rejected at compression time instead of risking a bitstream
 #: whose reserved entries are ambiguous to a decoder.
 _RESERVED_KEYS = ("__manifest__", "__lossless__")
 _LOSSY_PREFIX = "lossy::"
+
+
+def lossy_kwargs_from_config(config: FedSZConfig) -> dict:
+    """Factory kwargs for the configured lossy compressor.
+
+    Merges ``lossy_options`` with the entropy-stage knobs for the compressors
+    that have a Huffman stage (explicit ``lossy_options`` entries win).
+    """
+    kwargs = dict(config.lossy_options)
+    if config.lossy_compressor in _ENTROPY_CODED:
+        kwargs.setdefault("entropy_chunk", config.entropy_chunk)
+        kwargs.setdefault("entropy_workers", config.entropy_workers)
+    return kwargs
 
 
 def _decode_or_valueerror(decode, payload: bytes, entry: str):
@@ -129,7 +146,7 @@ class FedSZCompressor:
             self.config.lossy_compressor,
             error_bound=self.config.error_bound,
             mode=self.config.error_mode,
-            **self.config.lossy_options,
+            **lossy_kwargs_from_config(self.config),
         )
         self.lossless = lossless if lossless is not None else get_lossless(
             self.config.lossless_codec, **self.config.lossless_options)

@@ -17,53 +17,20 @@ Concurrency knobs
 
 :class:`~repro.fl.simulation.FederatedSimulation` threads its ``max_workers``
 setting through these helpers for all three per-client stages of a round
-(train, encode, decode).  The helpers operate on plain callables so they
-compose with custom training loops alike.
+(train, encode, decode).  The generic mapping helpers live in
+:mod:`repro.utils.parallel` (they are shared with the chunked Huffman decoder,
+which sits below ``repro.fl`` in the layering) and are re-exported here for
+backwards compatibility.
 """
 
 from __future__ import annotations
 
-import os
-from concurrent.futures import ThreadPoolExecutor
-from typing import Callable, Sequence, TypeVar
+from typing import Sequence
 
 from repro.fl.client import ClientUpdate, FLClient
+from repro.utils.parallel import map_parallel, resolve_worker_count
 
 __all__ = ["map_parallel", "resolve_worker_count", "train_clients_parallel"]
-
-T = TypeVar("T")
-R = TypeVar("R")
-
-
-def resolve_worker_count(max_workers: int | None, n_items: int) -> int:
-    """Effective number of worker threads for ``n_items`` units of work.
-
-    ``None`` resolves to the :class:`ThreadPoolExecutor` default of
-    ``min(32, cpu_count + 4)``; the result is always clamped to ``n_items``
-    (never spawn idle threads) and to a floor of 1.
-    """
-    if max_workers is not None and max_workers < 1:
-        raise ValueError("max_workers must be >= 1")
-    if max_workers is None:
-        max_workers = min(32, (os.cpu_count() or 1) + 4)
-    return max(1, min(max_workers, n_items))
-
-
-def map_parallel(func: Callable[[T], R], items: Sequence[T], max_workers: int | None = None) -> list[R]:
-    """Apply ``func`` to every item using a thread pool, preserving order.
-
-    With ``max_workers=1`` (or a single item) the call degenerates to a plain
-    sequential map, which keeps the behaviour deterministic for tests.  An
-    exception raised by any ``func`` call propagates to the caller either way.
-    """
-    items = list(items)
-    if not items:
-        return []
-    workers = resolve_worker_count(max_workers, len(items))
-    if workers == 1:
-        return [func(item) for item in items]
-    with ThreadPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(func, items))
 
 
 def train_clients_parallel(clients: Sequence[FLClient], global_state: dict,

@@ -49,14 +49,19 @@ def fedavg_aggregate(states: Sequence[dict[str, np.ndarray]],
 
 
 def evaluate_model(model: Module, dataset: Dataset, batch_size: int = 128) -> float:
-    """Top-1 accuracy of ``model`` on ``dataset`` (evaluation mode)."""
+    """Top-1 accuracy of ``model`` on ``dataset`` (evaluation mode).
+
+    The model's training/evaluation mode is restored to whatever it was on
+    entry, so evaluating never clobbers a caller that already ran ``eval()``.
+    """
+    was_training = model.training
     model.train(False)
     correct = 0
     loader = BatchLoader(dataset, batch_size=batch_size, shuffle=False)
     for images, labels in loader:
         predictions = model(images).argmax(axis=1)
         correct += int((predictions == labels).sum())
-    model.train(True)
+    model.train(was_training)
     return correct / max(len(dataset), 1)
 
 
@@ -89,8 +94,12 @@ class FedAvgServer:
         return new_state
 
     def evaluate(self, dataset: Dataset | None = None, batch_size: int = 128) -> float:
-        """Top-1 accuracy of the global model on the held-out set."""
-        target = dataset or self.test_dataset
+        """Top-1 accuracy of the global model on the held-out set.
+
+        An explicitly passed ``dataset`` is always evaluated as given — even
+        an empty one is not silently swapped for the configured test set.
+        """
+        target = dataset if dataset is not None else self.test_dataset
         if target is None:
             raise ValueError("no evaluation dataset configured")
         return evaluate_model(self.model, target, batch_size=batch_size)

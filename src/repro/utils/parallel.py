@@ -1,0 +1,59 @@
+"""Generic thread-pool mapping helpers shared across the code base.
+
+Both the federated round engine (training / encoding / decoding several
+clients per round) and the chunked Huffman entropy stage (decoding independent
+bitstream chunks) fan work out over a :class:`ThreadPoolExecutor`.  The knobs
+are uniform everywhere:
+
+* ``max_workers=1`` — strictly sequential execution, bit-identical to a plain
+  ``for`` loop (the deterministic reference the test suite pins the parallel
+  paths against).
+* ``max_workers=N`` — up to ``N`` items in flight at once.
+* ``max_workers=None`` — let the executor pick (``min(32, cpu_count + 4)``).
+
+This module is dependency-free on purpose: it sits below both
+``repro.fl`` and ``repro.compressors`` in the layering, so either side can
+import it without cycles.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Sequence, TypeVar
+
+__all__ = ["map_parallel", "resolve_worker_count"]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def resolve_worker_count(max_workers: int | None, n_items: int) -> int:
+    """Effective number of worker threads for ``n_items`` units of work.
+
+    ``None`` resolves to the :class:`ThreadPoolExecutor` default of
+    ``min(32, cpu_count + 4)``; the result is always clamped to ``n_items``
+    (never spawn idle threads) and to a floor of 1.
+    """
+    if max_workers is not None and max_workers < 1:
+        raise ValueError("max_workers must be >= 1")
+    if max_workers is None:
+        max_workers = min(32, (os.cpu_count() or 1) + 4)
+    return max(1, min(max_workers, n_items))
+
+
+def map_parallel(func: Callable[[T], R], items: Sequence[T], max_workers: int | None = None) -> list[R]:
+    """Apply ``func`` to every item using a thread pool, preserving order.
+
+    With ``max_workers=1`` (or a single item) the call degenerates to a plain
+    sequential map, which keeps the behaviour deterministic for tests.  An
+    exception raised by any ``func`` call propagates to the caller either way.
+    """
+    items = list(items)
+    if not items:
+        return []
+    workers = resolve_worker_count(max_workers, len(items))
+    if workers == 1:
+        return [func(item) for item in items]
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(func, items))

@@ -46,6 +46,16 @@ class TestParser:
         assert args.participation == 1.0
         assert args.straggler == 0.0 and args.dropout == 0.0
 
+    def test_entropy_flags(self):
+        for command in ("compress", "simulate"):
+            args = build_parser().parse_args([command, "--entropy-chunk", "4096",
+                                              "--entropy-workers", "4"])
+            assert args.entropy_chunk == 4096
+            assert args.entropy_workers == 4
+        defaults = build_parser().parse_args(["compress"])
+        assert defaults.entropy_chunk == 65536
+        assert defaults.entropy_workers == 1
+
     def test_participation_accepts_counts_and_fractions(self):
         parse = build_parser().parse_args
         assert parse(["simulate", "--participation", "3"]).participation == 3

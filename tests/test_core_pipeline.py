@@ -77,6 +77,28 @@ class TestConfigurationVariants:
         recon, _ = fedsz.roundtrip(small_state)
         assert set(recon) == set(small_state)
 
+    @pytest.mark.parametrize("compressor", ["sz2", "sz3"])
+    def test_entropy_workers_bit_identical_bitstreams(self, compressor, small_state):
+        # the entropy knobs change how decoding is scheduled, never the bytes
+        # on the wire or the reconstruction
+        sequential = FedSZCompressor(FedSZConfig(
+            lossy_compressor=compressor, error_bound=1e-2, entropy_chunk=1024))
+        threaded = FedSZCompressor(FedSZConfig(
+            lossy_compressor=compressor, error_bound=1e-2, entropy_chunk=1024,
+            entropy_workers=4))
+        payload = sequential.compress_state_dict(small_state)
+        assert payload == threaded.compress_state_dict(small_state)
+        recon_seq = sequential.decompress_state_dict(payload)
+        recon_par = threaded.decompress_state_dict(payload)
+        for key in recon_seq:
+            np.testing.assert_array_equal(recon_seq[key], recon_par[key])
+
+    def test_invalid_entropy_config_rejected(self):
+        with pytest.raises(ValueError):
+            FedSZConfig(entropy_chunk=0)
+        with pytest.raises(ValueError):
+            FedSZConfig(entropy_workers=0)
+
     def test_larger_bound_better_ratio(self, small_state):
         state = build_model("alexnet").state_dict()
         loose = FedSZCompressor(FedSZConfig(error_bound=1e-1)).compress_state_dict(state)

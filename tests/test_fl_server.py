@@ -89,3 +89,20 @@ class TestServer:
         acc = evaluate_model(model, ds)
         assert 0.0 <= acc <= 1.0
         assert model.training  # evaluation restores training mode
+
+    def test_evaluate_model_preserves_eval_mode(self):
+        # a model already in eval mode must not come back in training mode
+        ds = make_dataset("cifar10", n_samples=30, image_size=8)
+        model = build_model("mlp", num_classes=10, image_size=8).eval()
+        evaluate_model(model, ds)
+        assert all(not m.training for m in model.modules())
+
+    def test_evaluate_empty_dataset_not_swapped_for_test_set(self):
+        # an explicitly passed zero-length dataset must be evaluated as given,
+        # not silently replaced by the configured (non-empty) test set
+        ds = make_dataset("cifar10", n_samples=40, image_size=8)
+        model = build_model("mlp", num_classes=10, image_size=8)
+        server = FedAvgServer(model, test_dataset=ds)
+        empty = ds.subset(np.zeros(0, dtype=np.int64))
+        assert len(empty) == 0
+        assert server.evaluate(empty) == 0.0

@@ -1,9 +1,32 @@
-"""Tests for the canonical Huffman coder."""
+"""Tests for the chunked canonical Huffman coder (bitstream version 3)."""
+
+import struct
+import zlib
 
 import numpy as np
 import pytest
 
-from repro.compressors.huffman import MAX_CODE_LENGTH, HuffmanCoder
+from repro.compressors.huffman import (
+    DEFAULT_CHUNK_SYMBOLS,
+    MAX_CODE_LENGTH,
+    HuffmanCoder,
+)
+
+_HEADER = struct.Struct("<IQII")
+_PREFIX_LEN = 8
+
+
+def _parse_header(payload: bytes):
+    """(alphabet, count, chunk_size, n_chunks, index array) of a v3 payload."""
+    alphabet, count, chunk_size, n_chunks = _HEADER.unpack_from(payload, _PREFIX_LEN)
+    index = np.frombuffer(payload, dtype="<u8", count=2 * n_chunks,
+                          offset=_PREFIX_LEN + _HEADER.size + alphabet).reshape(n_chunks, 2)
+    return alphabet, count, chunk_size, n_chunks, index
+
+
+def _refresh_crc(payload: bytes) -> bytes:
+    """Recompute the CRC field so structural checks behind it are reachable."""
+    return payload[:4] + struct.pack("<I", zlib.crc32(payload[8:])) + payload[8:]
 
 
 @pytest.fixture
@@ -83,3 +106,167 @@ class TestCompression:
 
     def test_max_code_length_constant(self):
         assert 8 <= MAX_CODE_LENGTH <= 24
+
+
+def _distributions() -> dict[str, np.ndarray]:
+    rng = np.random.default_rng(11)
+    return {
+        "quantizer-like": np.clip(np.rint(rng.normal(500, 3, size=30_000)),
+                                  0, 1000).astype(np.int64),
+        "uniform": rng.integers(0, 200, size=20_000),
+        "single-symbol": np.full(20_000, 7, dtype=np.int64),
+        "two-symbols": np.tile([0, 1], 10_000).astype(np.int64),
+        "sparse-gaps": rng.choice([0, 5, 1000, 4097], size=20_000),
+    }
+
+
+class TestChunkedFormat:
+    def test_header_records_consistent_chunk_index(self):
+        symbols = np.arange(50_000, dtype=np.int64) % 37
+        payload = HuffmanCoder(chunk_size=1024).encode(symbols)
+        alphabet, count, chunk_size, n_chunks, index = _parse_header(payload)
+        assert (alphabet, count, chunk_size) == (37, 50_000, 1024)
+        assert n_chunks == -(-50_000 // 1024)
+        offsets, counts = index[:, 0].astype(np.int64), index[:, 1].astype(np.int64)
+        assert offsets[0] == 0
+        assert np.all(np.diff(offsets) > 0)
+        assert counts.sum() == 50_000
+        assert np.all(counts[:-1] == 1024)
+
+    def test_small_streams_get_smaller_chunks(self):
+        # a 64Ki-symbol stream must not end up as a single 64Ki chunk: the
+        # encoder shrinks chunks so the decoder has parallelism to work with
+        payload = HuffmanCoder().encode(np.zeros(1 << 16, dtype=np.int64))
+        *_, n_chunks, _ = _parse_header(payload)
+        assert n_chunks > 8
+
+    def test_configured_chunk_size_is_a_cap(self):
+        payload = HuffmanCoder(chunk_size=512).encode(np.zeros(100_000, dtype=np.int64))
+        _, _, chunk_size, _, _ = _parse_header(payload)
+        assert chunk_size == 512
+
+    @pytest.mark.parametrize("name", sorted(_distributions()))
+    def test_parallel_decode_bit_identical_to_reference(self, name):
+        symbols = _distributions()[name]
+        coder = HuffmanCoder(chunk_size=1024)
+        payload = coder.encode(symbols)
+        reference = coder.decode(payload, max_workers=1)
+        parallel = coder.decode(payload, max_workers=4)
+        np.testing.assert_array_equal(reference, symbols)
+        np.testing.assert_array_equal(parallel, reference)
+
+    def test_instance_worker_default_used(self):
+        symbols = np.arange(30_000, dtype=np.int64) % 11
+        sequential = HuffmanCoder(chunk_size=1024, max_workers=1)
+        threaded = HuffmanCoder(chunk_size=1024, max_workers=4)
+        payload = sequential.encode(symbols)
+        assert payload == threaded.encode(symbols)  # encoding is worker-independent
+        np.testing.assert_array_equal(threaded.decode(payload), symbols)
+
+    def test_invalid_construction_rejected(self):
+        with pytest.raises(ValueError):
+            HuffmanCoder(chunk_size=0)
+        with pytest.raises(ValueError):
+            HuffmanCoder(max_workers=0)
+
+    def test_default_chunk_constant_sane(self):
+        assert 1024 <= DEFAULT_CHUNK_SYMBOLS <= (1 << 20)
+
+
+@pytest.fixture
+def chunked_payload() -> tuple[np.ndarray, bytes]:
+    rng = np.random.default_rng(5)
+    symbols = np.clip(np.rint(rng.normal(40, 4, size=4000)), 0, 80).astype(np.int64)
+    return symbols, HuffmanCoder(chunk_size=256).encode(symbols)
+
+
+class TestCorruption:
+    """Any corrupted or truncated payload must raise ValueError — never
+    struct.error / IndexError, and never silently return wrong symbols."""
+
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_truncation_at_every_boundary_raises(self, workers, chunked_payload):
+        _, payload = chunked_payload
+        coder = HuffmanCoder()
+        for cut in range(len(payload)):
+            with pytest.raises(ValueError):
+                coder.decode(payload[:cut], max_workers=workers)
+
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_bitflip_fuzz_every_byte(self, workers, chunked_payload):
+        symbols, payload = chunked_payload
+        coder = HuffmanCoder()
+        for i in range(len(payload)):
+            mutated = bytearray(payload)
+            mutated[i] ^= 1 << (i % 8)
+            try:
+                decoded = coder.decode(bytes(mutated), max_workers=workers)
+            except ValueError:
+                continue
+            np.testing.assert_array_equal(decoded, symbols)
+
+    def test_bad_magic_rejected(self, coder, chunked_payload):
+        _, payload = chunked_payload
+        with pytest.raises(ValueError, match="magic"):
+            coder.decode(b"XXXX" + payload[4:])
+
+    def test_crc_mismatch_rejected(self, coder, chunked_payload):
+        _, payload = chunked_payload
+        mutated = bytearray(payload)
+        mutated[-1] ^= 0xFF
+        with pytest.raises(ValueError, match="CRC"):
+            coder.decode(bytes(mutated))
+
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_unused_window_detected(self, workers, coder):
+        # single-symbol alphabet: the upper half of the window table is unused
+        # (length 0); forcing a set bit into the stream must not silently
+        # decode to symbol 0 with the cursor never advancing
+        payload = bytearray(coder.encode(np.full(20_000, 3, dtype=np.int64)))
+        payload[-4] |= 0x80
+        with pytest.raises(ValueError, match="corrupt Huffman stream"):
+            coder.decode(bytes(_refresh_crc(bytes(payload))), max_workers=workers)
+
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_chunk_boundary_mismatch_detected(self, workers, chunked_payload):
+        # shift the second chunk's recorded bit offset by one: both its chunk
+        # and its predecessor now fail the decode-to-boundary check
+        _, payload = chunked_payload
+        alphabet, *_ = _parse_header(payload)
+        entry = _PREFIX_LEN + _HEADER.size + alphabet + 16
+        (offset,) = struct.unpack_from("<Q", payload, entry)
+        mutated = bytearray(payload)
+        mutated[entry:entry + 8] = struct.pack("<Q", offset + 1)
+        with pytest.raises(ValueError, match="corrupt Huffman stream"):
+            HuffmanCoder().decode(_refresh_crc(bytes(mutated)), max_workers=workers)
+
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_trailing_bits_detected(self, workers):
+        # declare 8 extra bits (and ship the extra byte): the final chunk no
+        # longer ends exactly at total_bits, which the old `pos > total_bits`
+        # check would have missed
+        symbols = np.full(20_000, 3, dtype=np.int64)
+        payload = HuffmanCoder(chunk_size=1024).encode(symbols)
+        alphabet, _, _, n_chunks, _ = _parse_header(payload)
+        at = _PREFIX_LEN + _HEADER.size + alphabet + 16 * n_chunks
+        (total_bits,) = struct.unpack_from("<Q", payload, at)
+        mutated = payload[:at] + struct.pack("<Q", total_bits + 8) + \
+            payload[at + 8:] + b"\x00"
+        with pytest.raises(ValueError, match="boundary"):
+            HuffmanCoder().decode(_refresh_crc(mutated), max_workers=workers)
+
+    def test_overstated_symbol_count_rejected(self, chunked_payload):
+        _, payload = chunked_payload
+        mutated = bytearray(payload)
+        mutated[_PREFIX_LEN + 4:_PREFIX_LEN + 12] = struct.pack("<Q", 2 ** 40)
+        with pytest.raises(ValueError, match="corrupt Huffman stream"):
+            HuffmanCoder().decode(_refresh_crc(bytes(mutated)))
+
+    def test_kraft_violating_length_table_rejected(self, coder):
+        # three one-bit codes cannot coexist; the table build must refuse
+        symbols = np.array([0, 1, 2] * 100, dtype=np.int64)
+        payload = bytearray(coder.encode(symbols))
+        lengths_at = _PREFIX_LEN + _HEADER.size
+        payload[lengths_at:lengths_at + 3] = bytes([1, 1, 1])
+        with pytest.raises(ValueError, match="corrupt Huffman stream"):
+            coder.decode(_refresh_crc(bytes(payload)))
