@@ -68,6 +68,36 @@ def _add_entropy_arguments(parser: argparse.ArgumentParser) -> None:
                              "decoder, >1 = banded vectorized decoding)")
 
 
+def _add_plan_arguments(parser: argparse.ArgumentParser) -> None:
+    """Knobs of the plan-driven per-tensor compression pipeline."""
+    parser.add_argument("--policy", default=FedSZConfig.policy,
+                        help="plan policy assigning each lossy tensor its codec and "
+                             "bound: uniform, size-adaptive, or mixed-codec")
+    parser.add_argument("--pipeline-workers", type=int, default=FedSZConfig.pipeline_workers,
+                        help="per-tensor compress/decompress threads (1 = the "
+                             "sequential reference path; bitstreams are "
+                             "bit-identical at any count)")
+    parser.add_argument("--small-tensor-codec", default="szx",
+                        help="codec for tensors below the mixed-codec size cutoff "
+                             "(only used with --policy mixed-codec)")
+
+
+def _fedsz_config(args: argparse.Namespace, **extra) -> FedSZConfig:
+    """Build the FedSZConfig shared by the compress/simulate commands.
+
+    Raises ValueError with a readable message for unknown codec or policy
+    names and out-of-range knobs; the command wrappers turn that into a
+    one-line CLI error.
+    """
+    policy_options = dict(extra.pop("policy_options", {}))
+    if args.policy == "mixed-codec":
+        policy_options.setdefault("small_codec", args.small_tensor_codec)
+    return FedSZConfig(error_bound=args.bound, entropy_chunk=args.entropy_chunk,
+                       entropy_workers=args.entropy_workers, policy=args.policy,
+                       pipeline_workers=args.pipeline_workers,
+                       policy_options=policy_options, **extra)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the top-level argument parser."""
     parser = argparse.ArgumentParser(prog="repro", description=__doc__,
@@ -77,9 +107,11 @@ def build_parser() -> argparse.ArgumentParser:
     compress = sub.add_parser("compress", help="compress one model update with FedSZ")
     compress.add_argument("--model", default="alexnet", choices=available_models())
     compress.add_argument("--bound", type=float, default=1e-2, help="relative error bound")
-    compress.add_argument("--compressor", default="sz2", choices=("sz2", "sz3", "szx", "zfp"))
+    compress.add_argument("--compressor", default="sz2",
+                          help="lossy EBLC for large weight tensors (sz2, sz3, szx, zfp)")
     compress.add_argument("--lossless", default="blosclz", help="lossless codec for metadata")
     _add_entropy_arguments(compress)
+    _add_plan_arguments(compress)
 
     simulate = sub.add_parser("simulate", help="run a small FedAvg simulation")
     simulate.add_argument("--model", default="simplecnn", choices=available_models())
@@ -101,6 +133,7 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--dropout", type=float, default=0.0,
                           help="per-round probability that a sampled client drops out")
     _add_entropy_arguments(simulate)
+    _add_plan_arguments(simulate)
 
     select = sub.add_parser("select", help="profile EBLC candidates on a model's weights")
     select.add_argument("--model", default="resnet50", choices=available_models())
@@ -114,25 +147,28 @@ def _cmd_compress(args: argparse.Namespace) -> int:
     model = build_model(args.model, num_classes=10, in_channels=3, image_size=32)
     state = model.state_dict()
     try:
-        config = FedSZConfig(lossy_compressor=args.compressor, error_bound=args.bound,
-                             lossless_codec=args.lossless, entropy_chunk=args.entropy_chunk,
-                             entropy_workers=args.entropy_workers)
+        # unknown codec/policy names surface as ValueError when the registries
+        # resolve them; keep construction inside the guard for a one-line error
+        config = _fedsz_config(args, lossy_compressor=args.compressor,
+                               lossless_codec=args.lossless)
+        fedsz = FedSZCompressor(config)
     except ValueError as exc:
         print(f"repro compress: error: {exc}", file=sys.stderr)
         return 2
-    fedsz = FedSZCompressor(config)
-    payload = fedsz.compress_state_dict(state)
-    restored = fedsz.decompress_state_dict(payload)
-    report = fedsz.last_report
+    payload, report = fedsz.compress_with_report(state)
+    restored, decode_report = fedsz.decompress_with_report(payload)
 
     worst = max((float(np.max(np.abs(restored[k].astype(np.float64) - v.astype(np.float64))))
                  for k, v in state.items() if v.size), default=0.0)
+    plan = fedsz.last_plan
+    codecs = ", ".join(plan.codecs) if plan is not None and len(plan) else args.compressor
     print(f"model:            {args.model} ({count_parameters(model):,} parameters)")
     print(f"original update:  {format_bytes(report.original_bytes)}")
     print(f"FedSZ bitstream:  {format_bytes(len(payload))}  (ratio {report.ratio:.2f}x)")
     print(f"compress time:    {format_seconds(report.compress_seconds)}")
-    print(f"decompress time:  {format_seconds(report.decompress_seconds)}")
-    print(f"max abs error:    {worst:.3e}  (bound {args.bound:g} relative, {args.compressor})")
+    print(f"decompress time:  {format_seconds(decode_report.decompress_seconds)}")
+    print(f"plan:             {args.policy} policy, codecs: {codecs}")
+    print(f"max abs error:    {worst:.3e}  (bound {args.bound:g} relative)")
     return 0
 
 
@@ -149,13 +185,13 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
     network = NetworkModel(bandwidth_mbps=args.bandwidth)
     try:
-        fedsz_config = FedSZConfig(error_bound=args.bound, entropy_chunk=args.entropy_chunk,
-                                   entropy_workers=args.entropy_workers)
+        # codec construction resolves the policy and codec registries, so an
+        # unknown name fails here with a one-line error instead of a traceback
+        codecs = {"uncompressed": RawUpdateCodec(),
+                  "fedsz": FedSZUpdateCodec(_fedsz_config(args))}
     except ValueError as exc:
         print(f"repro simulate: error: {exc}", file=sys.stderr)
         return 2
-    codecs = {"uncompressed": RawUpdateCodec(),
-              "fedsz": FedSZUpdateCodec(fedsz_config)}
     results = {}
     for label, codec in codecs.items():
         try:

@@ -11,11 +11,20 @@ from __future__ import annotations
 
 import abc
 import enum
+import math
 import struct
 import time
 from dataclasses import dataclass
 
 import numpy as np
+
+from repro.utils.serialization import MAX_NDIM
+
+#: A corrupt shape may multiply to astronomical element counts; refuse to
+#: allocate reconstructions past this size (2**34 bytes = 16 GiB — far above
+#: any real model update, and small enough that even the decoders' float64
+#: intermediates cannot drive the process out of memory on a garbage header).
+_MAX_DECODED_BYTES = 1 << 34
 
 __all__ = [
     "ErrorBoundMode",
@@ -167,17 +176,46 @@ class LossyCompressor(Compressor):
         return header + body
 
     def decompress(self, payload: bytes) -> np.ndarray:
+        """Reconstruct the array stored in ``payload``.
+
+        A truncated or corrupted payload raises :class:`ValueError` — every
+        header field is validated before use and body-decoder failures of any
+        kind are normalized to the same contract.
+        """
+        if len(payload) < 2:
+            raise ValueError(f"corrupt lossy payload: header needs 2 bytes, "
+                             f"got {len(payload)}")
         dtype_code, ndim = struct.unpack_from("<BB", payload, 0)
+        if dtype_code not in self._CODE_DTYPES:
+            raise ValueError(f"corrupt lossy payload: unknown dtype code {dtype_code}")
+        if ndim > MAX_NDIM:
+            raise ValueError(f"corrupt lossy payload: ndim {ndim} exceeds "
+                             f"NumPy's limit of {MAX_NDIM}")
         offset = 2
+        if len(payload) < offset + 8 * ndim + 8:
+            raise ValueError(f"corrupt lossy payload: header truncated at "
+                             f"{len(payload)} bytes ({8 * ndim + 10} needed)")
         shape = struct.unpack_from(f"<{ndim}Q", payload, offset) if ndim else ()
         offset += 8 * ndim
         (abs_bound,) = struct.unpack_from("<d", payload, offset)
         offset += 8
+        if not math.isfinite(abs_bound) or abs_bound < 0:
+            raise ValueError(f"corrupt lossy payload: absolute bound {abs_bound!r} "
+                             f"is not a non-negative finite value")
         dtype = self._CODE_DTYPES[dtype_code]
-        count = int(np.prod(shape)) if shape else 1
-        if ndim == 0:
-            count = 1
-        flat = self._decompress_float1d(payload[offset:], count, abs_bound, dtype)
+        count = math.prod(shape) if ndim else 1
+        if count * dtype.itemsize > _MAX_DECODED_BYTES:
+            raise ValueError(f"corrupt lossy payload: shape {shape} declares an "
+                             f"implausible {count} elements")
+        try:
+            flat = self._decompress_float1d(payload[offset:], count, abs_bound, dtype)
+        except ValueError:
+            raise
+        except Exception as exc:
+            # backend failures (zlib.error, struct.error, IndexError, ...) on
+            # corrupt bodies are part of the same documented contract
+            raise ValueError(f"corrupt lossy payload: body failed to decode "
+                             f"({type(exc).__name__}: {exc})") from exc
         return flat.astype(dtype, copy=False).reshape(shape)
 
     def with_error_bound(self, error_bound: ErrorBound | float,

@@ -290,6 +290,7 @@ def get_lossless(name: str, **kwargs: object) -> LosslessCodec:
     """Instantiate a lossless codec by registry name."""
     try:
         cls = _LOSSLESS[name]
-    except KeyError as exc:
-        raise KeyError(f"unknown lossless codec {name!r}; available: {available_lossless()}") from exc
+    except KeyError:
+        # ValueError, matching every other bad-input path in the codebase
+        raise ValueError(f"unknown lossless codec {name!r}; available: {available_lossless()}") from None
     return cls(**kwargs)  # type: ignore[arg-type]

@@ -45,6 +45,7 @@ def get_lossy(name: str, error_bound: ErrorBound | float = 1e-2,
     """Instantiate a lossy compressor by registry name."""
     try:
         factory = _LOSSY[name]
-    except KeyError as exc:
-        raise KeyError(f"unknown lossy compressor {name!r}; available: {available_lossy()}") from exc
+    except KeyError:
+        # ValueError, matching every other bad-input path in the codebase
+        raise ValueError(f"unknown lossy compressor {name!r}; available: {available_lossy()}") from None
     return factory(error_bound=error_bound, mode=mode, **kwargs)

@@ -5,15 +5,30 @@ The core package implements Algorithm 1 and Figure 1 of the paper:
 1. :mod:`repro.core.partition` — split a model ``state_dict`` into the large
    weight tensors (lossy-compressible) and the remaining metadata
    (lossless-only),
-2. :mod:`repro.core.pipeline` — the FedSZ compression/decompression pipeline
-   producing a single self-describing bitstream per client update,
-3. :mod:`repro.core.network` — the bandwidth/benefit model of Eqn. (1),
-4. :mod:`repro.core.selection` — the compressor- and error-bound-selection
+2. :mod:`repro.core.plan` — per-tensor compression plans and the pluggable
+   policy registry (uniform / size-adaptive / mixed-codec) that decide each
+   lossy tensor's codec, bound, and options,
+3. :mod:`repro.core.pipeline` — the plan-driven FedSZ pipeline producing a
+   single self-describing (version-4, possibly mixed-codec) bitstream per
+   client update,
+4. :mod:`repro.core.network` — the bandwidth/benefit model of Eqn. (1),
+5. :mod:`repro.core.selection` — the compressor- and error-bound-selection
    optimizers of Problems (2) and (3).
 """
 
 from repro.core.adaptive import AdaptiveBoundPolicy, AdaptiveFedSZCompressor
 from repro.core.config import FedSZConfig
+from repro.core.plan import (
+    CompressionPlan,
+    CompressionPolicy,
+    MixedCodecPolicy,
+    SizeAdaptivePolicy,
+    TensorPlan,
+    UniformPolicy,
+    available_policies,
+    get_policy,
+    register_policy,
+)
 from repro.core.network import (
     DeviceProfile,
     NetworkModel,
@@ -41,6 +56,15 @@ __all__ = [
     "AdaptiveFedSZCompressor",
     "FedSZCompressor",
     "FedSZReport",
+    "TensorPlan",
+    "CompressionPlan",
+    "CompressionPolicy",
+    "UniformPolicy",
+    "SizeAdaptivePolicy",
+    "MixedCodecPolicy",
+    "available_policies",
+    "get_policy",
+    "register_policy",
     "PartitionedState",
     "partition_state_dict",
     "lossy_fraction",

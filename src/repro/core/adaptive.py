@@ -4,8 +4,9 @@ Section VIII-B proposes tuning the compression hyper-parameters to mitigate the
 accuracy loss compression introduces.  A single global relative bound treats a
 16-element BatchNorm-adjacent projection and a million-element FC layer the
 same way, even though a perturbation of the former moves the network's output
-far more per element.  :class:`AdaptiveBoundPolicy` assigns every lossy tensor
-its own relative bound:
+far more per element.  :class:`AdaptiveBoundPolicy` (defined in
+:mod:`repro.core.plan` and re-exported here) assigns every lossy tensor its own
+relative bound:
 
 * tensors are ranked by their share of the parameter count: the largest tensor
   keeps the base bound and smaller tensors get bounds shrunk by
@@ -14,94 +15,44 @@ its own relative bound:
 * bounds are clamped to ``[min_bound, base_bound]`` so no tensor is ever
   compressed more aggressively than the user's requested operating point.
 
-:class:`AdaptiveFedSZCompressor` plugs the policy into the standard pipeline;
-its bitstream stays self-describing because every per-tensor payload already
-records the absolute bound it used.
+:class:`AdaptiveFedSZCompressor` is now a thin convenience wrapper: the bound
+math lives in the ``size-adaptive`` plan policy and the standard plan-driven
+pipeline applies it per tensor, so the bitstream is an ordinary version-4
+stream (self-describing, order-independent) and the old order-dependent
+dispatching shim is gone.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass
 
-import numpy as np
-
-from repro.compressors.registry import get_lossy
 from repro.core.config import FedSZConfig
-from repro.core.pipeline import FedSZCompressor, lossy_kwargs_from_config
+from repro.core.pipeline import FedSZCompressor
+from repro.core.plan import AdaptiveBoundPolicy, SizeAdaptivePolicy
 
 __all__ = ["AdaptiveBoundPolicy", "AdaptiveFedSZCompressor"]
 
 
-@dataclass
-class AdaptiveBoundPolicy:
-    """Maps tensor names/shapes to per-tensor relative error bounds."""
-
-    base_bound: float = 1e-2
-    min_bound: float = 1e-4
-    #: exponent on the relative tensor size; 0 disables size-based adaptation
-    size_exponent: float = 0.5
-
-    def __post_init__(self) -> None:
-        if not 0 < self.min_bound <= self.base_bound:
-            raise ValueError("need 0 < min_bound <= base_bound")
-        if self.size_exponent < 0:
-            raise ValueError("size_exponent must be non-negative")
-
-    def bounds_for(self, tensors: dict[str, np.ndarray]) -> "OrderedDict[str, float]":
-        """Per-tensor relative bounds for the lossy partition ``tensors``.
-
-        The largest tensor keeps the base bound; smaller tensors get bounds
-        shrunk by ``(size / largest_size) ** size_exponent`` (clamped at
-        ``min_bound``), so the tensors whose individual elements matter most
-        are perturbed least.
-        """
-        if not tensors:
-            return OrderedDict()
-        largest = max(v.size for v in tensors.values())
-        bounds: "OrderedDict[str, float]" = OrderedDict()
-        for name, value in tensors.items():
-            share = value.size / largest if largest else 1.0
-            scale = share ** self.size_exponent if self.size_exponent else 1.0
-            bounds[name] = float(np.clip(self.base_bound * scale, self.min_bound, self.base_bound))
-        return bounds
-
-
 class AdaptiveFedSZCompressor(FedSZCompressor):
-    """FedSZ pipeline that compresses each lossy tensor with its own bound."""
+    """FedSZ pipeline that compresses each lossy tensor with its own bound.
+
+    Equivalent to ``FedSZCompressor(config, policy=SizeAdaptivePolicy(...))``;
+    kept as a named class for discoverability and for the ``last_bounds``
+    convenience mapping (per-tensor bound values of the most recent compress).
+    """
 
     def __init__(self, config: FedSZConfig | None = None,
                  policy: AdaptiveBoundPolicy | None = None) -> None:
         config = config or FedSZConfig()
-        super().__init__(config)
-        self.policy = policy or AdaptiveBoundPolicy(base_bound=config.error_bound)
+        self.bound_policy = policy or AdaptiveBoundPolicy(base_bound=config.error_bound)
+        super().__init__(config, policy=SizeAdaptivePolicy(
+            base_bound=self.bound_policy.base_bound,
+            min_bound=self.bound_policy.min_bound,
+            size_exponent=self.bound_policy.size_exponent))
         self.last_bounds: "OrderedDict[str, float]" = OrderedDict()
 
-    def compress_state_dict(self, state: dict[str, np.ndarray]) -> bytes:
-        partition = self.partition(state)
-        self.last_bounds = self.policy.bounds_for(dict(partition.lossy))
-
-        # Temporarily swap the lossy compressor per tensor by overriding the
-        # single-compressor parent with a dispatching wrapper.
-        original_lossy = self.lossy
-
-        class _Dispatching:
-            def __init__(self, outer: "AdaptiveFedSZCompressor") -> None:
-                self._outer = outer
-                self._iter = iter(outer.last_bounds.items())
-
-            def compress(self, array: np.ndarray) -> bytes:
-                name, bound = next(self._iter)
-                compressor = get_lossy(self._outer.config.lossy_compressor,
-                                       error_bound=bound, mode=self._outer.config.error_mode,
-                                       **lossy_kwargs_from_config(self._outer.config))
-                return compressor.compress(array)
-
-            def decompress(self, payload: bytes) -> np.ndarray:  # pragma: no cover - unused here
-                return original_lossy.decompress(payload)
-
-        self.lossy = _Dispatching(self)  # type: ignore[assignment]
-        try:
-            return super().compress_state_dict(state)
-        finally:
-            self.lossy = original_lossy
+    def compress_with_report(self, state):
+        bitstream, report = super().compress_with_report(state)
+        assert self.last_plan is not None
+        self.last_bounds = self.last_plan.bounds()
+        return bitstream, report

@@ -31,7 +31,18 @@ class FedSZConfig:
       concurrency of the SZ2/SZ3 Huffman entropy stage: ``entropy_chunk``
       caps the symbols per independently-decodable chunk, ``entropy_workers=1``
       selects the sequential reference decoder, larger values the banded
-      vectorized decoder on a thread pool (bit-identical output).
+      vectorized decoder on a thread pool (bit-identical output),
+    * ``policy`` / ``policy_options`` — registry name and constructor kwargs
+      of the plan policy (:mod:`repro.core.plan`) that assigns each lossy
+      tensor its codec/bound/options; ``"uniform"`` reproduces the historic
+      one-codec-one-bound behaviour, ``"size-adaptive"`` shrinks bounds on
+      small tensors, ``"mixed-codec"`` routes small tensors to a fast codec,
+    * ``pipeline_workers`` — per-tensor compress/decompress concurrency of the
+      state-dict pipeline: ``1`` is the strictly sequential reference path,
+      larger values fan tensors out over a thread pool (bit-identical
+      bitstreams at any worker count).  The effective count is clamped to the
+      host's cores — tensor compression is pure CPU work, so extra threads
+      are strict oversubscription.
     """
 
     lossy_compressor: str = "sz2"
@@ -42,8 +53,11 @@ class FedSZConfig:
     lossy_name_tokens: tuple[str, ...] = ("weight",)
     entropy_chunk: int = 65536
     entropy_workers: int = 1
+    policy: str = "uniform"
+    pipeline_workers: int = 1
     lossy_options: dict = field(default_factory=dict)
     lossless_options: dict = field(default_factory=dict)
+    policy_options: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if self.error_bound <= 0:
@@ -54,6 +68,8 @@ class FedSZConfig:
             raise ValueError("entropy_chunk must be >= 1")
         if self.entropy_workers < 1:
             raise ValueError("entropy_workers must be >= 1")
+        if self.pipeline_workers < 1:
+            raise ValueError("pipeline_workers must be >= 1")
         if isinstance(self.error_mode, str):
             self.error_mode = ErrorBoundMode(self.error_mode)
 

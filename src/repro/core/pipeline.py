@@ -1,21 +1,38 @@
-"""The FedSZ compression/decompression pipeline (Figure 1 of the paper).
+"""The plan-driven FedSZ compression/decompression pipeline (Figure 1).
 
-Client side (:meth:`FedSZCompressor.compress_state_dict`):
+Client side (:meth:`FedSZCompressor.compress_with_report`):
 
 1. partition the ``state_dict`` into lossy and lossless tensors,
-2. compress each lossy tensor with the configured EBLC (the per-tensor payload
-   is self-describing: dtype, shape, absolute bound),
-3. serialize the lossless partition into a single buffer and compress it with
+2. ask the configured plan policy (:mod:`repro.core.plan`) for a
+   :class:`~repro.core.plan.CompressionPlan` — one
+   :class:`~repro.core.plan.TensorPlan` (codec, bound, mode, options) per
+   lossy tensor; the ``uniform`` policy reproduces the historic
+   one-codec-one-bound behaviour, ``size-adaptive`` and ``mixed-codec``
+   exploit the paper's per-workload EBLC tradeoff,
+3. compress every lossy tensor per its plan entry, fanning the tensors out
+   over a thread pool when ``pipeline_workers > 1`` (``1`` is the sequential
+   reference path; the bitstream is bit-identical at any worker count),
+4. serialize the lossless partition into a single buffer and compress it with
    the configured lossless codec,
-4. pack everything (plus a small manifest) into one bitstream.
+5. pack everything into one version-4 bitstream: each ``lossy::`` payload is
+   prefixed with its codec id and the manifest embeds the full plan summary,
+   so mixed-codec streams roundtrip with no out-of-band state.
 
-Server side (:meth:`FedSZCompressor.decompress_state_dict`) reverses the steps
-and returns a ``state_dict`` with the original tensor names, dtypes, and
-shapes, ready for FedAvg aggregation.
+Server side (:meth:`FedSZCompressor.decompress_state_dict`) parses the
+manifest plan, dispatches every lossy payload to the codec named by its
+per-payload tag (cross-checked against the plan), decodes tensors on the same
+worker pool, and returns a ``state_dict`` ready for FedAvg aggregation.
+
+Reporting is per-call: :meth:`compress_with_report` and
+:meth:`decompress_with_report` return a fresh :class:`FedSZReport` alongside
+their result, which is what the concurrent round engine aggregates per client.
+``last_report`` remains as a single-slot convenience for single-threaded
+scripts and the historic benchmarks.
 """
 
 from __future__ import annotations
 
+import os
 import struct
 import time
 from collections import OrderedDict
@@ -25,18 +42,21 @@ import numpy as np
 
 from repro.compressors.base import LossyCompressor
 from repro.compressors.lossless import LosslessCodec, get_lossless
-from repro.compressors.registry import get_lossy
+from repro.compressors.registry import available_lossy, get_lossy
 from repro.core.config import FedSZConfig
 from repro.core.partition import PartitionedState, partition_state_dict
+from repro.core.plan import CompressionPlan, CompressionPolicy, TensorPlan, get_policy, unpack_plan, pack_plan
+from repro.utils.parallel import map_parallel
 from repro.utils.serialization import pack_arrays, pack_bytes_dict, unpack_arrays, unpack_bytes_dict
 
 __all__ = ["FedSZCompressor", "FedSZReport"]
 
-#: bumped to 3 when the SZ2/SZ3 Huffman entropy stage switched to the chunked
-#: version-3 bitstream (magic + CRC-32 + per-chunk index); version-2 streams
-#: fail the version check instead of misparsing.  2 covered the SZ3 anchor
-#: dtype flag, ZFP verbatim-block trailer, and SZx verbatim width escape.
-_FORMAT_VERSION = 3
+#: bumped to 4 for the plan-driven mixed-codec format: every ``lossy::``
+#: payload is prefixed with its codec id and the manifest carries the full
+#: per-tensor plan summary, so one bitstream may mix codecs and bounds.
+#: (3 added the chunked Huffman entropy stage, 2 the SZ3 anchor dtype flag /
+#: ZFP verbatim trailer / SZx verbatim escape — see FORMATS.md.)
+_FORMAT_VERSION = 4
 #: Lossy compressors whose payloads carry a Huffman entropy stage and
 #: therefore accept the ``entropy_chunk``/``entropy_workers`` knobs.
 _ENTROPY_CODED = ("sz2", "sz3")
@@ -46,16 +66,19 @@ _ENTROPY_CODED = ("sz2", "sz3")
 #: whose reserved entries are ambiguous to a decoder.
 _RESERVED_KEYS = ("__manifest__", "__lossless__")
 _LOSSY_PREFIX = "lossy::"
+_MANIFEST_HEADER = struct.Struct("<IQ")
 
 
-def lossy_kwargs_from_config(config: FedSZConfig) -> dict:
-    """Factory kwargs for the configured lossy compressor.
+def lossy_kwargs_from_config(config: FedSZConfig, codec: str | None = None) -> dict:
+    """Factory kwargs for a lossy compressor instantiated under ``config``.
 
-    Merges ``lossy_options`` with the entropy-stage knobs for the compressors
-    that have a Huffman stage (explicit ``lossy_options`` entries win).
+    ``config.lossy_options`` apply only to the configured default codec (they
+    are options *of that codec*); the entropy-stage knobs apply to any codec
+    with a Huffman stage.  Explicit ``lossy_options`` entries win.
     """
-    kwargs = dict(config.lossy_options)
-    if config.lossy_compressor in _ENTROPY_CODED:
+    codec = codec if codec is not None else config.lossy_compressor
+    kwargs = dict(config.lossy_options) if codec == config.lossy_compressor else {}
+    if codec in _ENTROPY_CODED:
         kwargs.setdefault("entropy_chunk", config.entropy_chunk)
         kwargs.setdefault("entropy_workers", config.entropy_workers)
     return kwargs
@@ -86,6 +109,34 @@ def _check_tensor_names(state: dict) -> None:
         raise ValueError(
             f"tensor names {reserved!r} collide with reserved FedSZ bitstream keys "
             f"({', '.join(_RESERVED_KEYS)}, and the {_LOSSY_PREFIX!r} prefix); rename them")
+
+
+def _tag_payload(codec: str, body: bytes) -> bytes:
+    """Prefix a lossy payload with its codec id (u8 length + ASCII name)."""
+    try:
+        tag = codec.encode("ascii")
+    except UnicodeEncodeError:
+        raise ValueError(f"codec name {codec!r} cannot be used as a payload tag "
+                         f"(must be ASCII)") from None
+    if not 1 <= len(tag) <= 0xFF:
+        raise ValueError(f"codec name {codec!r} cannot be used as a payload tag")
+    return struct.pack("<B", len(tag)) + tag + body
+
+
+def _split_tagged_payload(payload: bytes, entry: str) -> tuple[str, bytes]:
+    """Parse the codec-id prefix off a ``lossy::`` payload."""
+    if len(payload) < 1:
+        raise ValueError(f"corrupt FedSZ bitstream: entry {entry!r} is empty")
+    tag_len = payload[0]
+    if tag_len < 1 or 1 + tag_len > len(payload):
+        raise ValueError(f"corrupt FedSZ bitstream: entry {entry!r} has a "
+                         f"truncated codec tag")
+    try:
+        codec = payload[1:1 + tag_len].decode("ascii")
+    except UnicodeDecodeError as exc:
+        raise ValueError(f"corrupt FedSZ bitstream: entry {entry!r} codec tag "
+                         f"is not ASCII") from exc
+    return codec, payload[1 + tag_len:]
 
 
 @dataclass
@@ -131,16 +182,23 @@ class FedSZReport:
 class FedSZCompressor:
     """Compress and decompress model state dictionaries per the FedSZ scheme.
 
+    ``policy`` (a :class:`~repro.core.plan.CompressionPolicy` instance or
+    registry name) decides each lossy tensor's codec/bound/options; it
+    defaults to ``config.policy`` instantiated with ``config.policy_options``.
+
     Thread-safety: the bitstreams produced and consumed by a shared instance
     are deterministic under concurrent use (the round engine encodes several
-    clients on a worker pool), but ``last_report`` is a single slot — after a
-    parallel round it holds the statistics of one arbitrary client.  Read
-    per-call statistics only from single-threaded contexts.
+    clients on a worker pool) and :meth:`compress_with_report` /
+    :meth:`decompress_with_report` return per-call statistics that are safe to
+    collect from any thread.  ``last_report`` is a single slot — after a
+    parallel round it holds the statistics of one arbitrary client; read it
+    only from single-threaded contexts.
     """
 
     def __init__(self, config: FedSZConfig | None = None,
                  lossy: LossyCompressor | None = None,
-                 lossless: LosslessCodec | None = None) -> None:
+                 lossless: LosslessCodec | None = None,
+                 policy: "CompressionPolicy | str | None" = None) -> None:
         self.config = config or FedSZConfig()
         self.lossy = lossy if lossy is not None else get_lossy(
             self.config.lossy_compressor,
@@ -150,30 +208,109 @@ class FedSZCompressor:
         )
         self.lossless = lossless if lossless is not None else get_lossless(
             self.config.lossless_codec, **self.config.lossless_options)
+        if policy is None:
+            policy = self.config.policy
+        self.policy = policy if isinstance(policy, CompressionPolicy) \
+            else get_policy(policy, **self.config.policy_options)
+        # When an explicit lossy instance is injected, plans must describe what
+        # actually runs: policies see a config reflecting the instance's codec
+        # name and operating point rather than the (possibly default) config
+        # fields it overrode.
+        if lossy is not None and isinstance(lossy, LossyCompressor):
+            self._plan_config = self.config.replace(
+                lossy_compressor=self.lossy.name,
+                error_bound=self.lossy.error_bound.value,
+                error_mode=self.lossy.error_bound.mode)
+        else:
+            self._plan_config = self.config
         self.last_report: FedSZReport | None = None
+        self.last_plan: CompressionPlan | None = None
+        self._decoder_cache: dict[str, LossyCompressor] = {}
 
     # ------------------------------------------------------------------
-    def compress_state_dict(self, state: dict[str, np.ndarray]) -> bytes:
-        """Compress a full state dict into a single FedSZ bitstream."""
+    def _pipeline_workers(self) -> int:
+        """Effective per-tensor fan-out for this host.
+
+        Tensor compression is pure CPU work, so threads beyond the core count
+        are strict oversubscription (measured ~25% slower on a single-core
+        host); the knob is clamped to the cores actually available.  The
+        bitstream is bit-identical at any worker count either way.
+        """
+        return max(1, min(self.config.pipeline_workers, os.cpu_count() or 1))
+
+    def plan_state_dict(self, state: dict[str, np.ndarray]) -> CompressionPlan:
+        """The per-tensor plan the policy would apply to ``state``."""
+        partition = partition_state_dict(state, self.config)
+        return self.policy.build_plan(partition.lossy, self._plan_config)
+
+    def _compressor_for(self, plan: TensorPlan) -> LossyCompressor:
+        """A lossy compressor configured exactly as ``plan`` prescribes."""
+        if plan.codec == self.lossy.name and not plan.options:
+            # reuse the (possibly injected) instance so non-registry
+            # compressors keep working; cloning re-binds only the bound
+            return self.lossy.with_error_bound(plan.error_bound, plan.mode)
+        kwargs = lossy_kwargs_from_config(self.config, plan.codec)
+        kwargs.update(plan.options)
+        return get_lossy(plan.codec, error_bound=plan.error_bound, mode=plan.mode,
+                         **kwargs)
+
+    def _decoder_for(self, codec: str) -> LossyCompressor:
+        """A decoder for ``codec`` (payloads are self-describing, so the
+        instance's bound is irrelevant; entropy knobs steer decode scheduling)."""
+        if codec == self.lossy.name:
+            return self.lossy
+        decoder = self._decoder_cache.get(codec)
+        if decoder is None:
+            if codec not in available_lossy():
+                raise ValueError(f"corrupt or unsupported FedSZ bitstream: unknown "
+                                 f"codec {codec!r}; available: {available_lossy()}")
+            decoder = get_lossy(codec, **lossy_kwargs_from_config(self.config, codec))
+            self._decoder_cache[codec] = decoder
+        return decoder
+
+    # ------------------------------------------------------------------
+    def compress_with_report(self, state: dict[str, np.ndarray]) -> tuple[bytes, FedSZReport]:
+        """Compress ``state`` into one FedSZ bitstream; returns per-call stats.
+
+        The per-tensor plan is fanned out over the shared thread pool when
+        ``config.pipeline_workers > 1``; the bitstream is bit-identical at any
+        worker count.  Also updates the ``last_report``/``last_plan``
+        convenience slots.
+        """
         _check_tensor_names(state)
         start = time.perf_counter()
         partition = partition_state_dict(state, self.config)
+        plan = self.policy.build_plan(partition.lossy, self._plan_config)
+        if plan.tensor_names != list(partition.lossy):
+            # a third-party policy reordering or dropping tensors must fail
+            # here, not as a confusing corruption error on every decode
+            raise ValueError(
+                f"policy {type(self.policy).__name__} returned a plan for "
+                f"{plan.tensor_names!r} but the lossy partition is "
+                f"{list(partition.lossy)!r}; plans must cover every lossy "
+                f"tensor in partition order")
 
-        lossy_payloads: "OrderedDict[str, bytes]" = OrderedDict()
-        for name, array in partition.lossy.items():
-            lossy_payloads[name] = self.lossy.compress(array)
+        def _compress_one(item: tuple[str, np.ndarray]) -> bytes:
+            name, array = item
+            entry = plan[name]
+            return _tag_payload(entry.codec, self._compressor_for(entry).compress(array))
+
+        payloads = map_parallel(_compress_one, list(partition.lossy.items()),
+                                max_workers=self._pipeline_workers())
+        lossy_payloads: "OrderedDict[str, bytes]" = OrderedDict(
+            zip(partition.lossy, payloads))
 
         lossless_raw = pack_arrays(dict(partition.lossless))
         lossless_payload = self.lossless.compress(lossless_raw)
 
-        manifest = struct.pack("<IQ", _FORMAT_VERSION, len(state))
+        manifest = _MANIFEST_HEADER.pack(_FORMAT_VERSION, len(state)) + pack_plan(plan)
         bitstream = pack_bytes_dict({
             "__manifest__": manifest,
             "__lossless__": lossless_payload,
             **{f"lossy::{name}": payload for name, payload in lossy_payloads.items()},
         })
         elapsed = time.perf_counter() - start
-        self.last_report = FedSZReport(
+        report = FedSZReport(
             original_bytes=partition.total_bytes,
             compressed_bytes=len(bitstream),
             lossy_original_bytes=partition.lossy_bytes,
@@ -182,53 +319,120 @@ class FedSZCompressor:
             lossless_compressed_bytes=len(lossless_payload),
             compress_seconds=elapsed,
         )
+        self.last_report = report
+        self.last_plan = plan
+        return bitstream, report
+
+    def compress_state_dict(self, state: dict[str, np.ndarray]) -> bytes:
+        """Compress a full state dict into a single FedSZ bitstream."""
+        bitstream, _ = self.compress_with_report(state)
         return bitstream
 
     # ------------------------------------------------------------------
-    def decompress_state_dict(self, bitstream: bytes) -> "OrderedDict[str, np.ndarray]":
-        """Reconstruct the state dict from a FedSZ bitstream."""
+    def _parse_manifest(self, manifest: bytes) -> tuple[int, CompressionPlan]:
+        if len(manifest) < _MANIFEST_HEADER.size:
+            raise ValueError(f"corrupt FedSZ manifest: {len(manifest)} bytes")
+        version, n_entries = _MANIFEST_HEADER.unpack_from(manifest, 0)
+        if version != _FORMAT_VERSION:
+            raise ValueError(f"unsupported FedSZ bitstream version {version} "
+                             f"(this build reads version {_FORMAT_VERSION}; see FORMATS.md)")
+        plan, offset = unpack_plan(manifest, _MANIFEST_HEADER.size)
+        if offset != len(manifest):
+            raise ValueError(f"corrupt FedSZ manifest: {len(manifest) - offset} "
+                             f"trailing bytes after the plan summary")
+        return n_entries, plan
+
+    def decompress_with_report(self, bitstream: bytes) \
+            -> tuple["OrderedDict[str, np.ndarray]", FedSZReport]:
+        """Reconstruct the state dict from a FedSZ bitstream, with statistics.
+
+        Dispatch is per tensor: each ``lossy::`` payload names its codec,
+        which must agree with the manifest plan; decoding fans out over the
+        thread pool when ``config.pipeline_workers > 1``.  The report covers
+        the decode side only — ``compress_seconds`` is 0, so its
+        ``throughput_mbps`` (a compress-side metric) reads ``inf`` and should
+        not be aggregated from decode-only reports.
+        """
         start = time.perf_counter()
         entries = unpack_bytes_dict(bitstream)
         manifest = entries.pop("__manifest__", None)
         if manifest is None:
             raise ValueError("not a FedSZ bitstream: missing manifest")
-        if len(manifest) != struct.calcsize("<IQ"):
-            raise ValueError(f"corrupt FedSZ manifest: {len(manifest)} bytes")
-        version, n_entries = struct.unpack("<IQ", manifest)
-        if version != _FORMAT_VERSION:
-            raise ValueError(f"unsupported FedSZ bitstream version {version}")
+        n_entries, plan = self._parse_manifest(manifest)
 
         lossless_payload = entries.pop("__lossless__", b"")
         lossless_arrays = unpack_arrays(_decode_or_valueerror(
             self.lossless.decompress, lossless_payload, "__lossless__")) \
             if lossless_payload else {}
 
-        state: "OrderedDict[str, np.ndarray]" = OrderedDict()
+        lossy_entries: list[tuple[str, bytes]] = []
         for key, payload in entries.items():
-            if not key.startswith("lossy::"):
+            if not key.startswith(_LOSSY_PREFIX):
                 raise ValueError(f"unexpected entry {key!r} in FedSZ bitstream")
-            name = key[len("lossy::"):]
-            state[name] = _decode_or_valueerror(self.lossy.decompress, payload, key)
+            lossy_entries.append((key, payload))
+        payload_names = [key[len(_LOSSY_PREFIX):] for key, _ in lossy_entries]
+        if payload_names != plan.tensor_names:
+            raise ValueError(
+                f"corrupt FedSZ bitstream: manifest plans tensors "
+                f"{plan.tensor_names!r} but the stream carries {payload_names!r}")
+
+        lossy_compressed = sum(len(payload) for _, payload in lossy_entries)
+
+        def _decode_one(item: tuple[str, bytes]) -> np.ndarray:
+            key, payload = item
+            name = key[len(_LOSSY_PREFIX):]
+            codec, body = _split_tagged_payload(payload, key)
+            if codec != plan[name].codec:
+                raise ValueError(f"corrupt FedSZ bitstream: entry {key!r} is "
+                                 f"tagged {codec!r} but the manifest plan says "
+                                 f"{plan[name].codec!r}")
+            return _decode_or_valueerror(self._decoder_for(codec).decompress, body, key)
+
+        arrays = map_parallel(_decode_one, lossy_entries,
+                              max_workers=self._pipeline_workers())
+
+        state: "OrderedDict[str, np.ndarray]" = OrderedDict(zip(payload_names, arrays))
         for name, array in lossless_arrays.items():
+            if name in state:
+                raise ValueError(f"corrupt FedSZ bitstream: tensor {name!r} appears "
+                                 f"in both partitions")
             state[name] = array
         if len(state) != n_entries:
             raise ValueError(f"corrupt FedSZ bitstream: manifest declares {n_entries} "
                              f"tensors but {len(state)} were decoded")
         elapsed = time.perf_counter() - start
-        report = self.last_report
-        if report is not None:
+        lossy_original = sum(int(state[name].nbytes) for name in payload_names)
+        report = FedSZReport(
+            original_bytes=sum(int(v.nbytes) for v in state.values()),
+            compressed_bytes=len(bitstream),
+            lossy_original_bytes=lossy_original,
+            lossy_compressed_bytes=lossy_compressed,
+            lossless_original_bytes=sum(int(v.nbytes) for v in lossless_arrays.values()),
+            lossless_compressed_bytes=len(lossless_payload),
+            compress_seconds=0.0,
+            decompress_seconds=elapsed,
+        )
+        return state, report
+
+    def decompress_state_dict(self, bitstream: bytes) -> "OrderedDict[str, np.ndarray]":
+        """Reconstruct the state dict from a FedSZ bitstream."""
+        state, report = self.decompress_with_report(bitstream)
+        previous = self.last_report
+        if previous is not None:
             # replace instead of mutating in place so a concurrent reader never
             # sees a half-updated report (see the thread-safety note above)
-            self.last_report = replace(report, decompress_seconds=elapsed)
+            self.last_report = replace(previous,
+                                       decompress_seconds=report.decompress_seconds)
         return state
 
     # ------------------------------------------------------------------
     def roundtrip(self, state: dict[str, np.ndarray]) -> tuple["OrderedDict[str, np.ndarray]", FedSZReport]:
         """Compress then decompress ``state``; returns the reconstruction and report."""
-        payload = self.compress_state_dict(state)
-        recon = self.decompress_state_dict(payload)
-        assert self.last_report is not None
-        return recon, self.last_report
+        payload, report = self.compress_with_report(state)
+        recon, decode_report = self.decompress_with_report(payload)
+        report = replace(report, decompress_seconds=decode_report.decompress_seconds)
+        self.last_report = report
+        return recon, report
 
     def partition(self, state: dict[str, np.ndarray]) -> PartitionedState:
         """Expose the partitioning decision for inspection (Table III)."""

@@ -34,6 +34,14 @@ class UpdateCodec(abc.ABC):
     def decode(self, payload: bytes) -> "OrderedDict[str, np.ndarray]":
         """Recover a state dict from wire bytes."""
 
+    def encode_with_report(self, state: dict[str, np.ndarray]) \
+            -> tuple[bytes, "FedSZReport | None"]:
+        """Encode plus per-call compression statistics (``None`` when the
+        codec collects none).  Safe to call from concurrent round workers —
+        codecs that compress override this to return a fresh report instead of
+        mutating shared state."""
+        return self.encode(state), None
+
 
 class RawUpdateCodec(UpdateCodec):
     """Uncompressed baseline: packed float32 tensors, no reduction."""
@@ -62,7 +70,17 @@ class FedSZUpdateCodec(UpdateCodec):
     def decode(self, payload: bytes) -> "OrderedDict[str, np.ndarray]":
         return self.compressor.decompress_state_dict(payload)
 
+    def encode_with_report(self, state: dict[str, np.ndarray]) \
+            -> tuple[bytes, FedSZReport]:
+        """Encode one update and return its per-call :class:`FedSZReport`."""
+        return self.compressor.compress_with_report(state)
+
     @property
     def last_report(self) -> FedSZReport | None:
-        """Compression statistics of the most recent :meth:`encode` call."""
+        """Compression statistics of the most recent :meth:`encode` call.
+
+        Single-slot convenience: after a parallel round it holds one arbitrary
+        client; prefer :meth:`encode_with_report` (or the round record's
+        ``client_reports``) for accurate per-client statistics.
+        """
         return self.compressor.last_report

@@ -44,6 +44,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.core.network import UPLINK_MODES, NetworkModel, round_communication_time
+from repro.core.pipeline import FedSZReport
 from repro.data.datasets import Dataset
 from repro.data.partition import partition_dataset
 from repro.fl.client import ClientUpdate, FLClient
@@ -75,6 +76,9 @@ class RoundRecord:
     dropped_clients: list[int] = field(default_factory=list)
     #: ids of participants whose train/transfer time was straggler-inflated
     straggler_clients: list[int] = field(default_factory=list)
+    #: per-client compression statistics, keyed by client id (empty when the
+    #: codec collects none, e.g. the uncompressed baseline)
+    client_reports: dict[int, FedSZReport] = field(default_factory=dict)
 
     @property
     def compression_ratio(self) -> float:
@@ -241,10 +245,12 @@ class FederatedSimulation:
             Runs per client on the worker pool so that simulated network
             delays (``simulate_delay=True``, the paper's MPI-delay-injection
             methodology) overlap across clients instead of sleeping serially.
+            Per-client compression statistics come from the codec's per-call
+            reporting API, so they stay accurate at any worker count.
             """
             client_id, update = item
             start = time.perf_counter()
-            payload = self.codec.encode(update.state)
+            payload, report = self.codec.encode_with_report(update.state)
             encode_seconds = time.perf_counter() - start
             raw_size = len(raw_codec.encode(update.state))
 
@@ -258,13 +264,16 @@ class FederatedSimulation:
             start = time.perf_counter()
             state = self.codec.decode(payload)
             decode_seconds = time.perf_counter() - start
-            return payload, encode_seconds, raw_size, transfer_seconds, state, decode_seconds
+            return payload, encode_seconds, raw_size, transfer_seconds, state, decode_seconds, report
 
         shipped = map_parallel(_ship, list(zip(participants, updates)),
                                max_workers=self.max_workers)
-        encoded = [(payload, enc, raw) for payload, enc, raw, _, _, _ in shipped]
-        transfer_times = [transfer for _, _, _, transfer, _, _ in shipped]
-        decoded = [(state, dec) for _, _, _, _, state, dec in shipped]
+        encoded = [(payload, enc, raw) for payload, enc, raw, *_ in shipped]
+        transfer_times = [transfer for _, _, _, transfer, _, _, _ in shipped]
+        decoded = [(state, dec) for _, _, _, _, state, dec, _ in shipped]
+        client_reports = {cid: report
+                          for cid, (*_, report) in zip(participants, shipped)
+                          if report is not None}
 
         train_times = [
             update.train_seconds * (self.straggler_slowdown if cid in straggler_set else 1.0)
@@ -296,6 +305,7 @@ class FederatedSimulation:
             participants=list(participants),
             dropped_clients=list(dropped),
             straggler_clients=list(stragglers),
+            client_reports=client_reports,
         )
 
     def run(self, n_rounds: int = 10) -> SimulationResult:

@@ -86,6 +86,10 @@ class DPFedSZUpdateCodec(UpdateCodec):
     def decode(self, payload: bytes) -> "OrderedDict[str, np.ndarray]":
         return self.compressor.decompress_state_dict(payload)
 
+    def encode_with_report(self, state: dict[str, np.ndarray]):
+        """Privatize then compress, returning per-call compression statistics."""
+        return self.compressor.compress_with_report(self._privatize(state))
+
     @property
     def noise_scale(self) -> float:
         """Laplace scale added to every lossy-partition element."""

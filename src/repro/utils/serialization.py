@@ -28,13 +28,14 @@ import struct
 
 import numpy as np
 
-__all__ = ["pack_bytes_dict", "unpack_bytes_dict", "pack_arrays", "unpack_arrays"]
+__all__ = ["MAX_NDIM", "pack_bytes_dict", "unpack_bytes_dict", "pack_arrays", "unpack_arrays"]
 
 _MAGIC_BYTES = b"FSZB"
 _MAGIC_ARRAYS = b"FSZA"
 
 #: np.ndarray.ndim is capped at 64 in NumPy; anything larger is corruption.
-_MAX_NDIM = 64
+#: Shared by every deserializer that parses a shape (see compressors/base.py).
+MAX_NDIM = 64
 
 
 def _require(buf: memoryview, offset: int, needed: int, what: str) -> None:
@@ -128,8 +129,8 @@ def unpack_arrays(data: bytes) -> dict[str, np.ndarray]:
         _require(buf, offset, 4, f"ndim of array {key!r}")
         (ndim,) = struct.unpack_from("<I", buf, offset)
         offset += 4
-        if ndim > _MAX_NDIM:
-            raise ValueError(f"corrupt ndim {ndim} for array {key!r} (max {_MAX_NDIM})")
+        if ndim > MAX_NDIM:
+            raise ValueError(f"corrupt ndim {ndim} for array {key!r} (max {MAX_NDIM})")
         _require(buf, offset, 8 * ndim, f"shape of array {key!r}")
         shape = struct.unpack_from(f"<{ndim}Q", buf, offset) if ndim else ()
         offset += 8 * ndim

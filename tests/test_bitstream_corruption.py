@@ -129,17 +129,27 @@ class TestFedSZBitstreamCorruption:
 
     def test_unexpected_entry_rejected(self, fedsz_and_stream):
         fedsz, _ = fedsz_and_stream
-        stream = pack_bytes_dict({"__manifest__": struct.pack("<IQ", _FORMAT_VERSION, 1),
-                                  "rogue": b"payload"})
+        # valid v4 manifest with an empty plan summary, plus an unknown entry
+        manifest = struct.pack("<IQ", _FORMAT_VERSION, 1) + struct.pack("<I", 0)
+        stream = pack_bytes_dict({"__manifest__": manifest, "rogue": b"payload"})
         with pytest.raises(ValueError, match="unexpected entry"):
             fedsz.decompress_state_dict(stream)
 
     def test_entry_count_mismatch_rejected(self, fedsz_and_stream):
         fedsz, stream = fedsz_and_stream
         entries = unpack_bytes_dict(stream)
-        entries["__manifest__"] = struct.pack("<IQ", _FORMAT_VERSION, 99)
+        # rewrite only the declared tensor count, keeping the plan summary
+        entries["__manifest__"] = struct.pack("<IQ", _FORMAT_VERSION, 99) + \
+            entries["__manifest__"][struct.calcsize("<IQ"):]
         with pytest.raises(ValueError, match="declares 99"):
             fedsz.decompress_state_dict(pack_bytes_dict(entries))
+
+    def test_manifest_without_plan_rejected(self, fedsz_and_stream):
+        # a v3-shaped manifest (version + count only) is truncated in v4 terms
+        fedsz, _ = fedsz_and_stream
+        stream = pack_bytes_dict({"__manifest__": struct.pack("<IQ", _FORMAT_VERSION, 0)})
+        with pytest.raises(ValueError, match="plan"):
+            fedsz.decompress_state_dict(stream)
 
     def test_not_a_bitstream_rejected(self, fedsz_and_stream):
         fedsz, _ = fedsz_and_stream

@@ -56,6 +56,19 @@ class TestParser:
         assert defaults.entropy_chunk == 65536
         assert defaults.entropy_workers == 1
 
+    def test_plan_flags(self):
+        for command in ("compress", "simulate"):
+            args = build_parser().parse_args([command, "--policy", "mixed-codec",
+                                              "--pipeline-workers", "4",
+                                              "--small-tensor-codec", "zfp"])
+            assert args.policy == "mixed-codec"
+            assert args.pipeline_workers == 4
+            assert args.small_tensor_codec == "zfp"
+        defaults = build_parser().parse_args(["compress"])
+        assert defaults.policy == "uniform"
+        assert defaults.pipeline_workers == 1
+        assert defaults.small_tensor_codec == "szx"
+
     def test_participation_accepts_counts_and_fractions(self):
         parse = build_parser().parse_args
         assert parse(["simulate", "--participation", "3"]).participation == 3
@@ -79,6 +92,34 @@ class TestCommands:
         exit_code = main(["compress", "--model", "mlp", "--compressor", "szx"])
         assert exit_code == 0
         assert "szx" in capsys.readouterr().out
+
+    def test_compress_with_mixed_codec_policy(self, capsys):
+        exit_code = main(["compress", "--model", "simplecnn", "--policy", "mixed-codec",
+                          "--pipeline-workers", "2"])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "mixed-codec policy" in out
+
+    @pytest.mark.parametrize("flags,fragment", [
+        (["--policy", "round-robin"], "unknown plan policy"),
+        (["--lossless", "snappy"], "unknown lossless codec"),
+        (["--compressor", "fpzip"], "unknown lossy compressor"),
+        (["--policy", "mixed-codec", "--small-tensor-codec", "nope"],
+         "unknown lossy compressor"),
+        (["--pipeline-workers", "0"], "pipeline_workers"),
+    ])
+    def test_unknown_names_get_one_line_errors(self, capsys, flags, fragment):
+        exit_code = main(["compress", "--model", "mlp", *flags])
+        assert exit_code == 2
+        err = capsys.readouterr().err
+        assert "repro compress: error:" in err and fragment in err
+        assert "Traceback" not in err
+
+    def test_simulate_unknown_policy_is_clean(self, capsys):
+        exit_code = main(["simulate", "--model", "mlp", "--samples", "80",
+                          "--image-size", "8", "--policy", "nope"])
+        assert exit_code == 2
+        assert "unknown plan policy" in capsys.readouterr().err
 
     def test_simulate_command_output(self, capsys):
         exit_code = main(["simulate", "--model", "mlp", "--rounds", "2", "--clients", "2",

@@ -93,7 +93,7 @@ class TestRegistry:
         assert codec.level == 1
 
     def test_unknown_codec_raises(self):
-        with pytest.raises(KeyError):
+        with pytest.raises(ValueError, match="unknown lossless codec"):
             get_lossless("snappy")
 
     def test_codec_names_unique(self):

@@ -152,7 +152,7 @@ class TestConfigurationAndRegistry:
         assert comp.error_bound.value == 1e-3
 
     def test_get_lossy_unknown(self):
-        with pytest.raises(KeyError):
+        with pytest.raises(ValueError, match="unknown lossy compressor"):
             get_lossy("fpzip")
 
     def test_register_lossy_and_overwrite_guard(self):
