@@ -2,18 +2,35 @@
 
 An 8-client FedAvg round over a simulated 2 Mbps uplink (``simulate_delay=True``,
 the paper's MPI-delay-injection methodology) is executed sequentially
-(``max_workers=1``) and with a 4-thread worker pool.  The parallel engine must
-be measurably faster in wall clock — the injected per-client transfer delays
-overlap across threads, and on multicore hosts the BLAS-heavy training does
-too — while reproducing the sequential accuracies and byte counts bit-for-bit.
+(``max_workers=1``) and with a 4-worker pool on the selected execution backend
+(``--backend serial|thread|process``).  The parallel engine must be measurably
+faster in wall clock — the injected per-client transfer delays overlap across
+workers, and on multicore hosts the BLAS-heavy training does too — while
+reproducing the sequential accuracies and byte counts bit-for-bit on every
+backend.
+
+Two entry points:
+
+* ``PYTHONPATH=src python -m pytest benchmarks/bench_round_engine.py -o
+  python_files="bench_*.py" -o python_functions="bench_*"`` — the historic
+  pytest-benchmark harness (thread backend, persists results),
+* ``PYTHONPATH=src python benchmarks/bench_round_engine.py [--backend process]
+  [--smoke]`` — direct CLI; ``--smoke`` is the correctness-only CI drill that
+  exercises the backend's picklability contract end-to-end without timing
+  assertions or clobbering committed results.
 """
 
 from __future__ import annotations
 
+import argparse
 import os
+import sys
 import time
+from pathlib import Path
 
 import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
 
 from bench_utils import fl_settings, quick_fl_data, save_results
 from repro.core import NetworkModel
@@ -27,7 +44,8 @@ ROUNDS = 2
 BANDWIDTH_MBPS = 2.0
 
 
-def _build_simulation(train, test, cfg, max_workers: int) -> FederatedSimulation:
+def _build_simulation(train, test, cfg, max_workers: int,
+                      backend: str = "thread") -> FederatedSimulation:
     def factory():
         return build_model(cfg["model"], num_classes=10, in_channels=3,
                            image_size=cfg["image_size"], seed=0)
@@ -36,43 +54,50 @@ def _build_simulation(train, test, cfg, max_workers: int) -> FederatedSimulation
     return FederatedSimulation(factory, train, test, n_clients=N_CLIENTS,
                                codec=RawUpdateCodec(), network=network,
                                batch_size=cfg["batch_size"], lr=cfg["lr"], seed=11,
-                               max_workers=max_workers, uplink="parallel")
+                               max_workers=max_workers, uplink="parallel",
+                               backend=backend)
 
 
-def bench_round_engine(benchmark):
+def _run_engine(backend: str, workers: int = WORKERS, rounds: int = ROUNDS):
+    """Sequential vs ``workers``-wide run on ``backend``; returns walls/results."""
     cfg = fl_settings()
     train, test = quick_fl_data("cifar10", seed=47)
+    walls = {}
+    results = {}
+    for max_workers in (1, workers):
+        sim = _build_simulation(train, test, cfg, max_workers, backend=backend)
+        start = time.perf_counter()
+        results[max_workers] = sim.run(rounds)
+        walls[max_workers] = time.perf_counter() - start
+    return walls, results
 
-    def run():
-        walls = {}
-        results = {}
-        for workers in (1, WORKERS):
-            sim = _build_simulation(train, test, cfg, workers)
-            start = time.perf_counter()
-            results[workers] = sim.run(ROUNDS)
-            walls[workers] = time.perf_counter() - start
-        return walls, results
 
-    walls, results = benchmark.pedantic(run, rounds=1, iterations=1)
-    sequential, parallel = results[1], results[WORKERS]
-    speedup = walls[1] / walls[WORKERS]
+def _check_and_report(walls, results, backend: str, workers: int,
+                      persist: bool, assert_speedup: bool) -> int:
+    sequential, parallel = results[1], results[workers]
+    speedup = walls[1] / walls[workers]
 
-    table = Table(f"Round engine - {N_CLIENTS} clients, {ROUNDS} rounds, "
-                  f"{BANDWIDTH_MBPS:g} Mbps simulated uplink",
+    table = Table(f"Round engine ({backend} backend) - {N_CLIENTS} clients, "
+                  f"{ROUNDS} rounds, {BANDWIDTH_MBPS:g} Mbps simulated uplink",
                   ["workers", "wall (s)", "speedup", "final acc", "upload (KB)"])
     record = ExperimentRecord("round_engine",
                               "parallel round engine vs sequential reference")
-    for workers in (1, WORKERS):
-        result = results[workers]
-        table.add_row(workers, f"{walls[workers]:.2f}",
-                      f"{walls[1] / walls[workers]:.2f}x",
+    record.add(backend=backend, host_cores=os.cpu_count() or 1)
+    for max_workers in (1, workers):
+        result = results[max_workers]
+        table.add_row(max_workers, f"{walls[max_workers]:.2f}",
+                      f"{walls[1] / walls[max_workers]:.2f}x",
                       f"{result.final_accuracy:.1%}",
                       f"{result.total_transmitted_bytes / 1e3:.1f}")
-        record.add(workers=workers, wall_seconds=walls[workers],
+        record.add(workers=max_workers, wall_seconds=walls[max_workers],
                    final_accuracy=result.final_accuracy,
                    transmitted_bytes=result.total_transmitted_bytes)
     record.add(speedup=speedup)
-    save_results("round_engine", table, record)
+    if persist:
+        save_results("round_engine", table, record)
+    else:
+        print()
+        print(table.render())
 
     # The parallel engine must reproduce the sequential reference bit-for-bit...
     assert parallel.accuracies == sequential.accuracies
@@ -86,6 +111,40 @@ def bench_round_engine(benchmark):
     # timing assertion is skipped on shared CI runners, where scheduling noise
     # on a loaded 2-core box would make a single-round wall-clock comparison
     # flaky; the table above still reports the measured speedup there.
-    if not os.environ.get("CI"):
-        assert walls[WORKERS] < walls[1] * 0.8, \
+    if assert_speedup and not os.environ.get("CI"):
+        assert walls[workers] < walls[1] * 0.8, \
             f"expected >1.25x speedup, got {speedup:.2f}x"
+    return 0
+
+
+def bench_round_engine(benchmark):
+    """pytest-benchmark harness (historic entry point; thread backend)."""
+    walls, results = benchmark.pedantic(lambda: _run_engine("thread"),
+                                        rounds=1, iterations=1)
+    _check_and_report(walls, results, backend="thread", workers=WORKERS,
+                      persist=True, assert_speedup=True)
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--backend", default="thread",
+                        choices=("serial", "thread", "process"),
+                        help="execution backend for the parallel engine side")
+    parser.add_argument("--workers", type=int, default=WORKERS,
+                        help="worker-pool size of the parallel run")
+    parser.add_argument("--smoke", action="store_true",
+                        help="correctness-only drill: no timing assertion, "
+                             "results are not persisted (CI mode)")
+    args = parser.parse_args(argv)
+
+    walls, results = _run_engine(args.backend, workers=args.workers)
+    # the serial backend (or a 1-worker pool) runs both sides sequentially:
+    # parity is still checked, a speedup is not expected
+    assert_speedup = not args.smoke and args.backend != "serial" and args.workers > 1
+    return _check_and_report(walls, results, backend=args.backend,
+                             workers=args.workers, persist=not args.smoke,
+                             assert_speedup=assert_speedup)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -35,6 +35,7 @@ from repro.core import (
 from repro.data import make_dataset, train_test_split
 from repro.fl import FederatedSimulation, FedSZUpdateCodec, RawUpdateCodec
 from repro.nn import available_models, build_model, count_parameters
+from repro.utils.parallel import available_backends
 from repro.utils.timer import format_bytes, format_seconds
 
 __all__ = ["main", "build_parser"]
@@ -57,6 +58,18 @@ def _participation_value(text: str) -> "float | int":
         raise argparse.ArgumentTypeError(
             f"participation fraction must be in (0, 1], got {text!r}")
     return value
+
+
+def _add_backend_argument(parser: argparse.ArgumentParser) -> None:
+    """The execution backend every fan-out stage runs on."""
+    parser.add_argument("--backend", default=FedSZConfig.backend,
+                        choices=available_backends(),
+                        help="execution backend for all parallel stages "
+                             "(entropy decode, per-tensor pipeline, round "
+                             "engine): serial = the sequential reference, "
+                             "thread = GIL-sharing pool, process = GIL-free "
+                             "worker processes; bitstreams and round results "
+                             "are identical across backends")
 
 
 def _add_entropy_arguments(parser: argparse.ArgumentParser) -> None:
@@ -95,6 +108,7 @@ def _fedsz_config(args: argparse.Namespace, **extra) -> FedSZConfig:
     return FedSZConfig(error_bound=args.bound, entropy_chunk=args.entropy_chunk,
                        entropy_workers=args.entropy_workers, policy=args.policy,
                        pipeline_workers=args.pipeline_workers,
+                       backend=args.backend,
                        policy_options=policy_options, **extra)
 
 
@@ -112,6 +126,7 @@ def build_parser() -> argparse.ArgumentParser:
     compress.add_argument("--lossless", default="blosclz", help="lossless codec for metadata")
     _add_entropy_arguments(compress)
     _add_plan_arguments(compress)
+    _add_backend_argument(compress)
 
     simulate = sub.add_parser("simulate", help="run a small FedAvg simulation")
     simulate.add_argument("--model", default="simplecnn", choices=available_models())
@@ -124,8 +139,9 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--bandwidth", type=float, default=10.0, help="uplink Mbps")
     simulate.add_argument("--seed", type=int, default=0)
     simulate.add_argument("--workers", type=int, default=1,
-                          help="thread-pool size for per-client train/encode/decode "
-                               "(1 = the bit-reproducible sequential path)")
+                          help="worker-pool size for per-client train/encode/decode "
+                               "on the --backend pool (1 = the bit-reproducible "
+                               "sequential path)")
     simulate.add_argument("--participation", type=_participation_value, default=1.0,
                           help="clients sampled per round: fraction in (0, 1] or integer count")
     simulate.add_argument("--straggler", type=float, default=0.0,
@@ -134,6 +150,7 @@ def build_parser() -> argparse.ArgumentParser:
                           help="per-round probability that a sampled client drops out")
     _add_entropy_arguments(simulate)
     _add_plan_arguments(simulate)
+    _add_backend_argument(simulate)
 
     select = sub.add_parser("select", help="profile EBLC candidates on a model's weights")
     select.add_argument("--model", default="resnet50", choices=available_models())
@@ -198,7 +215,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             sim = FederatedSimulation(factory, train, test, n_clients=args.clients, codec=codec,
                                       network=network, lr=0.15, seed=args.seed + 2,
                                       max_workers=args.workers, participation=args.participation,
-                                      dropout_prob=args.dropout, straggler_prob=args.straggler)
+                                      dropout_prob=args.dropout, straggler_prob=args.straggler,
+                                      backend=args.backend)
         except ValueError as exc:
             # round-engine ranges that need cross-flag context (--participation
             # count vs --clients, --workers >= 1, probability ranges)

@@ -32,13 +32,19 @@ any chunk boundary.  All integers little-endian::
 
 The chunk index is what makes the decode side parallel *and* vectorizable:
 
-* ``max_workers=1`` decodes with the strictly sequential per-symbol reference
-  loop (the deterministic baseline the tests pin the fast path against),
-* ``max_workers>1`` splits the chunk list into bands, dispatches the bands to
-  a thread pool (:func:`repro.utils.parallel.map_parallel`), and decodes all
-  chunks of a band simultaneously as one vectorized NumPy "row walk": each
-  step advances every chunk's bit cursor by one decoded symbol, so the
-  sequential dependency only spans a chunk, not the stream.
+* ``max_workers=1`` (or ``backend="serial"``) decodes with the strictly
+  sequential per-symbol reference loop (the deterministic baseline the tests
+  pin the fast path against),
+* ``max_workers>1`` splits the chunk list into bands and dispatches the bands
+  to the configured :class:`~repro.utils.parallel.ExecutionBackend` (threads
+  or processes).  Each band is a self-contained, picklable work unit — the
+  worker receives its slice of the packed bit stream, the code-length table,
+  and the band's chunk index, and *returns* the decoded symbol band rather
+  than mutating a shared output array, so the same task function runs
+  unchanged on a thread pool or across a process boundary.  Inside a band all
+  chunks decode simultaneously as one vectorized NumPy "row walk": each step
+  advances every chunk's bit cursor by one decoded symbol, so the sequential
+  dependency only spans a chunk, not the stream.
 
 A corrupted or truncated payload always raises :class:`ValueError`: every
 header field is bounds-checked, the CRC covers the whole payload, an unused
@@ -58,7 +64,7 @@ import zlib
 
 import numpy as np
 
-from repro.utils.parallel import map_parallel, resolve_worker_count
+from repro.utils.parallel import ExecutionBackend, get_backend
 
 __all__ = ["HuffmanCoder", "MAX_CODE_LENGTH", "DEFAULT_CHUNK_SYMBOLS"]
 
@@ -212,25 +218,62 @@ def _byte_windows(bit_bytes: np.ndarray, pad_bytes: int) -> np.ndarray:
     return (padded[:-2] << 16) | (padded[1:-1] << 8) | padded[2:]
 
 
+def _decode_band_task(task: "tuple[bytes, bytes, np.ndarray, np.ndarray, np.ndarray]") -> np.ndarray:
+    """Decode one band of chunks from its slice of the packed bit stream.
+
+    Module-level and fully self-contained so the banded decode can run on any
+    :class:`~repro.utils.parallel.ExecutionBackend`, including a process pool:
+    the task tuple ``(bit_slice, length_table, bit_offsets, sym_counts,
+    chunk_ends)`` pickles cheaply (offsets are relative to the slice), and the
+    decoded symbol band is *returned* instead of written into shared memory.
+    The 64K-entry window tables are rebuilt per band — two ``np.repeat`` calls,
+    negligible against the band decode itself.
+    """
+    bit_slice, length_table, bit_offsets, sym_counts, chunk_ends = task
+    lengths = np.frombuffer(length_table, dtype=np.uint8).astype(np.int64)
+    table_sym, table_len = _build_decode_tables(lengths)
+    bit_bytes = np.frombuffer(bit_slice, dtype=np.uint8)
+    sym_starts = np.concatenate([[0], np.cumsum(sym_counts)[:-1]])
+    out = np.empty(int(sym_counts.sum()), dtype=np.int64)
+    if bit_offsets.size < _MIN_VECTOR_CHUNKS:
+        HuffmanCoder._decode_scalar(bit_bytes, bit_offsets, sym_counts, sym_starts,
+                                    chunk_ends, table_sym, table_len, out)
+        return out
+    steps_cap = int(sym_counts.max())
+    # Pad the byte windows so a corrupt stream can drift up to
+    # MAX_CODE_LENGTH bits per step past the end without an out-of-bounds
+    # gather; the drift itself is caught by the chunk-boundary check.
+    w24 = _byte_windows(bit_bytes, 3 + (steps_cap * MAX_CODE_LENGTH + 7) // 8)
+    comb = (table_sym << 5) | table_len
+    HuffmanCoder._decode_band_vectorized(w24, comb, bit_offsets, sym_counts,
+                                         sym_starts, chunk_ends, out)
+    return out
+
+
 class HuffmanCoder:
     """Encode/decode streams of non-negative integer symbols.
 
     ``chunk_size`` caps the number of symbols per chunk (the encoder may pick
     smaller chunks for short streams, see :data:`_TARGET_CHUNKS`).
     ``max_workers`` is the default decode concurrency: ``1`` selects the
-    sequential reference decoder, larger values (or ``None`` for the executor
-    default) the banded vectorized decoder.  Both produce bit-identical
-    symbol arrays; instances are stateless per call and thread-safe.
+    sequential reference decoder, larger values (or ``None`` for the backend
+    default) the banded vectorized decoder.  ``backend`` names the
+    :class:`~repro.utils.parallel.ExecutionBackend` the bands are dispatched
+    on (``"serial"`` always runs the reference decoder).  Every combination
+    produces bit-identical symbol arrays; instances are stateless per call,
+    thread-safe, and picklable.
     """
 
     def __init__(self, chunk_size: int = DEFAULT_CHUNK_SYMBOLS,
-                 max_workers: int | None = 1) -> None:
+                 max_workers: int | None = 1,
+                 backend: "str | ExecutionBackend" = "thread") -> None:
         if not 1 <= chunk_size <= 0xFFFFFFFF:
             raise ValueError("chunk_size must be in [1, 2**32 - 1] (stored as u32)")
         if max_workers is not None and max_workers < 1:
             raise ValueError("max_workers must be >= 1")
         self.chunk_size = int(chunk_size)
         self.max_workers = max_workers
+        self.backend = get_backend(backend)
 
     # ------------------------------------------------------------------
     def _effective_chunk(self, count: int) -> int:
@@ -339,17 +382,18 @@ class HuffmanCoder:
             raise _corrupt("chunk bit offsets are inconsistent with their symbol counts")
         return lengths, index, count, total_bits, offset
 
-    def decode(self, payload: bytes, max_workers: int | None = None) -> np.ndarray:
+    def decode(self, payload: bytes, max_workers: int | None = None,
+               backend: "str | ExecutionBackend | None" = None) -> np.ndarray:
         """Decode a byte string produced by :meth:`encode` back to ``int64``.
 
-        ``max_workers`` overrides the instance default for this call; ``1``
-        runs the sequential reference decoder, more the banded vectorized one
-        (identical output either way).
+        ``max_workers`` and ``backend`` override the instance defaults for
+        this call; one worker (or the ``serial`` backend) runs the sequential
+        reference decoder, more the banded vectorized one (identical output
+        either way).
         """
         lengths, index, count, total_bits, bits_at = self._parse_header(payload)
         if count == 0:
             return np.zeros(0, dtype=np.int64)
-        table_sym, table_len = _build_decode_tables(lengths)
 
         n_chunks = index.shape[0]
         bit_offsets = index[:, 0]
@@ -358,37 +402,45 @@ class HuffmanCoder:
         chunk_ends = np.concatenate([bit_offsets[1:], [total_bits]])
         bit_bytes = np.frombuffer(payload, dtype=np.uint8, offset=bits_at)
 
+        exec_backend = self.backend if backend is None else get_backend(backend)
         workers = self.max_workers if max_workers is None else max_workers
-        workers = resolve_worker_count(workers, n_chunks)
-        out = np.empty(count, dtype=np.int64)
+        workers = exec_backend.resolve_workers(workers, n_chunks)
         if workers == 1 or n_chunks < _MIN_VECTOR_CHUNKS:
+            table_sym, table_len = _build_decode_tables(lengths)
+            out = np.empty(count, dtype=np.int64)
             self._decode_scalar(bit_bytes, bit_offsets, sym_counts, sym_starts,
                                 chunk_ends, table_sym, table_len, out)
             return out
 
-        # Band the chunks and fan the bands out over the worker pool.  Never
-        # split finer than the core count: a band's cost is dominated by its
-        # per-step dispatch overhead, so extra narrower bands only help while
-        # they actually run concurrently.
-        n_bands = max(1, min(workers, os.cpu_count() or 1,
-                             n_chunks // _MIN_VECTOR_CHUNKS))
+        # Band the chunks and fan the bands out over the execution backend.
+        # On a GIL-bound backend never split finer than the core count — a
+        # band's cost is dominated by its per-step dispatch overhead, so extra
+        # narrower bands only help while they actually run concurrently; a
+        # process pool's workers always do, so there the knob is honoured.
+        cap = workers if not exec_backend.gil_bound else \
+            min(workers, os.cpu_count() or 1)
+        n_bands = max(1, min(cap, n_chunks // _MIN_VECTOR_CHUNKS))
         edges = np.linspace(0, n_chunks, n_bands + 1).astype(int)
-        steps_cap = int(sym_counts.max())
-        # Pad the byte windows so a corrupt stream can drift up to
-        # MAX_CODE_LENGTH bits per step past the end without an out-of-bounds
-        # gather; the drift itself is caught by the chunk-boundary check.
-        w24 = _byte_windows(bit_bytes, 3 + (steps_cap * MAX_CODE_LENGTH + 7) // 8)
-        comb = (table_sym << 5) | table_len
+        length_table = lengths.astype(np.uint8).tobytes()
 
-        def _run_band(band: tuple[int, int]) -> None:
-            lo, hi = band
-            self._decode_band_vectorized(
-                w24, comb, bit_offsets[lo:hi], sym_counts[lo:hi],
-                sym_starts[lo:hi], chunk_ends[lo:hi], out)
-
+        tasks = []
         bands = [(int(edges[b]), int(edges[b + 1])) for b in range(n_bands)
                  if edges[b] < edges[b + 1]]
-        map_parallel(_run_band, bands, max_workers=workers)
+        for lo, hi in bands:
+            # rebase the band onto its own byte slice so the task is a small,
+            # self-contained (and cheaply picklable) unit of work
+            byte0 = int(bit_offsets[lo]) >> 3
+            byte_hi = (int(chunk_ends[hi - 1]) + 7) >> 3
+            tasks.append((bit_bytes[byte0:byte_hi].tobytes(), length_table,
+                          bit_offsets[lo:hi] - (byte0 << 3),
+                          sym_counts[lo:hi],
+                          chunk_ends[lo:hi] - (byte0 << 3)))
+        decoded_bands = exec_backend.map(_decode_band_task, tasks,
+                                         workers=workers, chunksize=1)
+        out = np.empty(count, dtype=np.int64)
+        for (lo, hi), band_out in zip(bands, decoded_bands):
+            base = int(sym_starts[lo])
+            out[base:base + band_out.size] = band_out
         return out
 
     # ------------------------------------------------------------------

@@ -53,12 +53,15 @@ class SZ3Compressor(LossyCompressor):
                  quantizer_radius: int = 32768,
                  lossless_backend: str | LosslessCodec = "zlib",
                  entropy_chunk: int = DEFAULT_CHUNK_SYMBOLS,
-                 entropy_workers: int | None = 1) -> None:
+                 entropy_workers: int | None = 1,
+                 entropy_backend: str = "thread") -> None:
         super().__init__(error_bound, mode)
         self.quantizer = LinearQuantizer(quantizer_radius)
         # entropy_chunk caps the symbols per Huffman chunk; entropy_workers=1
-        # is the sequential reference decoder, >1 the banded vectorized one.
-        self.huffman = HuffmanCoder(chunk_size=entropy_chunk, max_workers=entropy_workers)
+        # is the sequential reference decoder, >1 the banded vectorized one on
+        # the named execution backend (serial / thread / process).
+        self.huffman = HuffmanCoder(chunk_size=entropy_chunk, max_workers=entropy_workers,
+                                    backend=entropy_backend)
         if isinstance(lossless_backend, LosslessCodec):
             self.lossless = lossless_backend
         else:

@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.compressors.base import ErrorBoundMode
+from repro.utils.parallel import get_backend
 
 __all__ = ["FedSZConfig"]
 
@@ -31,7 +32,7 @@ class FedSZConfig:
       concurrency of the SZ2/SZ3 Huffman entropy stage: ``entropy_chunk``
       caps the symbols per independently-decodable chunk, ``entropy_workers=1``
       selects the sequential reference decoder, larger values the banded
-      vectorized decoder on a thread pool (bit-identical output),
+      vectorized decoder on the execution backend (bit-identical output),
     * ``policy`` / ``policy_options`` — registry name and constructor kwargs
       of the plan policy (:mod:`repro.core.plan`) that assigns each lossy
       tensor its codec/bound/options; ``"uniform"`` reproduces the historic
@@ -39,10 +40,15 @@ class FedSZConfig:
       small tensors, ``"mixed-codec"`` routes small tensors to a fast codec,
     * ``pipeline_workers`` — per-tensor compress/decompress concurrency of the
       state-dict pipeline: ``1`` is the strictly sequential reference path,
-      larger values fan tensors out over a thread pool (bit-identical
-      bitstreams at any worker count).  The effective count is clamped to the
-      host's cores — tensor compression is pure CPU work, so extra threads
-      are strict oversubscription.
+      larger values fan tensors out over the execution backend (bit-identical
+      bitstreams at any worker count).  On the GIL-bound ``thread`` backend
+      the effective count is clamped to the host's cores — tensor compression
+      is pure CPU work, so extra threads are strict oversubscription,
+    * ``backend`` — the :mod:`repro.utils.parallel` execution backend both
+      fan-out stages (per-tensor pipeline, Huffman entropy decode) run on:
+      ``"serial"`` (sequential reference), ``"thread"`` (the historic
+      default), or ``"process"`` (GIL-free, for many-core servers decoding
+      large client fleets).  Bitstreams are bit-identical across backends.
     """
 
     lossy_compressor: str = "sz2"
@@ -55,6 +61,7 @@ class FedSZConfig:
     entropy_workers: int = 1
     policy: str = "uniform"
     pipeline_workers: int = 1
+    backend: str = "thread"
     lossy_options: dict = field(default_factory=dict)
     lossless_options: dict = field(default_factory=dict)
     policy_options: dict = field(default_factory=dict)
@@ -70,6 +77,7 @@ class FedSZConfig:
             raise ValueError("entropy_workers must be >= 1")
         if self.pipeline_workers < 1:
             raise ValueError("pipeline_workers must be >= 1")
+        get_backend(self.backend)  # unknown names raise ValueError here
         if isinstance(self.error_mode, str):
             self.error_mode = ErrorBoundMode(self.error_mode)
 

@@ -10,8 +10,12 @@ Client side (:meth:`FedSZCompressor.compress_with_report`):
    one-codec-one-bound behaviour, ``size-adaptive`` and ``mixed-codec``
    exploit the paper's per-workload EBLC tradeoff,
 3. compress every lossy tensor per its plan entry, fanning the tensors out
-   over a thread pool when ``pipeline_workers > 1`` (``1`` is the sequential
-   reference path; the bitstream is bit-identical at any worker count),
+   over the configured execution backend (serial / thread / process, see
+   :mod:`repro.utils.parallel`) when ``pipeline_workers > 1`` (``1`` is the
+   sequential reference path; the bitstream is bit-identical at any worker
+   count on any backend).  Each unit of work is a module-level task function
+   over an explicit ``(TensorPlan, ndarray, compressor)`` struct, so the same
+   tasks run unchanged on a thread pool or across a process boundary,
 4. serialize the lossless partition into a single buffer and compress it with
    the configured lossless codec,
 5. pack everything into one version-4 bitstream: each ``lossy::`` payload is
@@ -46,7 +50,7 @@ from repro.compressors.registry import available_lossy, get_lossy
 from repro.core.config import FedSZConfig
 from repro.core.partition import PartitionedState, partition_state_dict
 from repro.core.plan import CompressionPlan, CompressionPolicy, TensorPlan, get_policy, unpack_plan, pack_plan
-from repro.utils.parallel import map_parallel
+from repro.utils.parallel import get_backend, map_parallel
 from repro.utils.serialization import pack_arrays, pack_bytes_dict, unpack_arrays, unpack_bytes_dict
 
 __all__ = ["FedSZCompressor", "FedSZReport"]
@@ -81,6 +85,7 @@ def lossy_kwargs_from_config(config: FedSZConfig, codec: str | None = None) -> d
     if codec in _ENTROPY_CODED:
         kwargs.setdefault("entropy_chunk", config.entropy_chunk)
         kwargs.setdefault("entropy_workers", config.entropy_workers)
+        kwargs.setdefault("entropy_backend", config.backend)
     return kwargs
 
 
@@ -109,6 +114,30 @@ def _check_tensor_names(state: dict) -> None:
         raise ValueError(
             f"tensor names {reserved!r} collide with reserved FedSZ bitstream keys "
             f"({', '.join(_RESERVED_KEYS)}, and the {_LOSSY_PREFIX!r} prefix); rename them")
+
+
+def _compress_tensor_task(task: "tuple[TensorPlan, np.ndarray, LossyCompressor]") -> bytes:
+    """Compress one tensor per its plan entry into a tagged payload.
+
+    Module-level with an explicit ``(TensorPlan, ndarray, compressor)``
+    argument struct so the per-tensor fan-out satisfies the process backend's
+    picklability contract (compressor instances hold only plain configuration
+    state and pickle cheaply; the bitstream bytes come back as the result).
+    """
+    plan, array, compressor = task
+    return _tag_payload(plan.codec, compressor.compress(array))
+
+
+def _decompress_tensor_task(task: "tuple[str, bytes, LossyCompressor]") -> np.ndarray:
+    """Decode one tagged lossy payload body back into its tensor.
+
+    The ``(entry_key, body, decoder)`` struct is picklable for the process
+    backend; failures are normalized to :class:`ValueError` *inside* the task
+    so the documented corruption contract holds identically across backends
+    (exceptions cross the process boundary already wrapped).
+    """
+    key, body, decoder = task
+    return _decode_or_valueerror(decoder.decompress, body, key)
 
 
 def _tag_payload(codec: str, body: bytes) -> bytes:
@@ -231,12 +260,20 @@ class FedSZCompressor:
     def _pipeline_workers(self) -> int:
         """Effective per-tensor fan-out for this host.
 
-        Tensor compression is pure CPU work, so threads beyond the core count
-        are strict oversubscription (measured ~25% slower on a single-core
-        host); the knob is clamped to the cores actually available.  The
-        bitstream is bit-identical at any worker count either way.
+        Tensor compression is pure CPU work, so on a GIL-bound (thread)
+        backend workers beyond the core count are strict oversubscription
+        (measured ~25% slower on a single-core host) and the knob is clamped
+        to the cores actually available; a process pool's workers run truly
+        concurrently, so there the requested count is honoured.  The bitstream
+        is bit-identical at any worker count either way.
         """
-        return max(1, min(self.config.pipeline_workers, os.cpu_count() or 1))
+        backend = get_backend(self.config.backend)
+        workers = self.config.pipeline_workers
+        if backend.gil_bound:
+            workers = min(workers, os.cpu_count() or 1)
+        # let the backend have the final say (serial always resolves to 1),
+        # so this number is the fan-out that actually runs
+        return backend.resolve_workers(max(1, workers), max(1, workers))
 
     def plan_state_dict(self, state: dict[str, np.ndarray]) -> CompressionPlan:
         """The per-tensor plan the policy would apply to ``state``."""
@@ -272,10 +309,10 @@ class FedSZCompressor:
     def compress_with_report(self, state: dict[str, np.ndarray]) -> tuple[bytes, FedSZReport]:
         """Compress ``state`` into one FedSZ bitstream; returns per-call stats.
 
-        The per-tensor plan is fanned out over the shared thread pool when
-        ``config.pipeline_workers > 1``; the bitstream is bit-identical at any
-        worker count.  Also updates the ``last_report``/``last_plan``
-        convenience slots.
+        The per-tensor plan is fanned out over the configured execution
+        backend when ``config.pipeline_workers > 1``; the bitstream is
+        bit-identical at any worker count on any backend.  Also updates the
+        ``last_report``/``last_plan`` convenience slots.
         """
         _check_tensor_names(state)
         start = time.perf_counter()
@@ -290,13 +327,11 @@ class FedSZCompressor:
                 f"{list(partition.lossy)!r}; plans must cover every lossy "
                 f"tensor in partition order")
 
-        def _compress_one(item: tuple[str, np.ndarray]) -> bytes:
-            name, array = item
-            entry = plan[name]
-            return _tag_payload(entry.codec, self._compressor_for(entry).compress(array))
-
-        payloads = map_parallel(_compress_one, list(partition.lossy.items()),
-                                max_workers=self._pipeline_workers())
+        tasks = [(plan[name], array, self._compressor_for(plan[name]))
+                 for name, array in partition.lossy.items()]
+        payloads = map_parallel(_compress_tensor_task, tasks,
+                                max_workers=self._pipeline_workers(),
+                                backend=self.config.backend)
         lossy_payloads: "OrderedDict[str, bytes]" = OrderedDict(
             zip(partition.lossy, payloads))
 
@@ -348,7 +383,9 @@ class FedSZCompressor:
 
         Dispatch is per tensor: each ``lossy::`` payload names its codec,
         which must agree with the manifest plan; decoding fans out over the
-        thread pool when ``config.pipeline_workers > 1``.  The report covers
+        configured execution backend when ``config.pipeline_workers > 1`` (the
+        tag/plan cross-check runs up front on the caller's thread, only the
+        inner payload decode is dispatched).  The report covers
         the decode side only — ``compress_seconds`` is 0, so its
         ``throughput_mbps`` (a compress-side metric) reads ``inf`` and should
         not be aggregated from decode-only reports.
@@ -378,18 +415,18 @@ class FedSZCompressor:
 
         lossy_compressed = sum(len(payload) for _, payload in lossy_entries)
 
-        def _decode_one(item: tuple[str, bytes]) -> np.ndarray:
-            key, payload = item
+        tasks = []
+        for key, payload in lossy_entries:
             name = key[len(_LOSSY_PREFIX):]
             codec, body = _split_tagged_payload(payload, key)
             if codec != plan[name].codec:
                 raise ValueError(f"corrupt FedSZ bitstream: entry {key!r} is "
                                  f"tagged {codec!r} but the manifest plan says "
                                  f"{plan[name].codec!r}")
-            return _decode_or_valueerror(self._decoder_for(codec).decompress, body, key)
-
-        arrays = map_parallel(_decode_one, lossy_entries,
-                              max_workers=self._pipeline_workers())
+            tasks.append((key, body, self._decoder_for(codec)))
+        arrays = map_parallel(_decompress_tensor_task, tasks,
+                              max_workers=self._pipeline_workers(),
+                              backend=self.config.backend)
 
         state: "OrderedDict[str, np.ndarray]" = OrderedDict(zip(payload_names, arrays))
         for name, array in lossless_arrays.items():

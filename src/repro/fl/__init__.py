@@ -9,7 +9,6 @@ decodes, aggregates, and evaluates the global model each round.
 
 from repro.fl.client import ClientUpdate, FLClient
 from repro.fl.codec import FedSZUpdateCodec, RawUpdateCodec, UpdateCodec
-from repro.fl.parallel import map_parallel, resolve_worker_count, train_clients_parallel
 from repro.fl.scaling import (
     ScalingResult,
     scaling_speedups,
@@ -17,7 +16,13 @@ from repro.fl.scaling import (
     simulate_weak_scaling,
 )
 from repro.fl.server import FedAvgServer, evaluate_model, fedavg_aggregate
-from repro.fl.simulation import FederatedSimulation, RoundRecord, SimulationResult
+from repro.fl.simulation import (
+    FederatedSimulation,
+    RoundRecord,
+    SimulationResult,
+    train_clients_parallel,
+)
+from repro.utils.parallel import map_parallel, resolve_worker_count
 
 __all__ = [
     "FLClient",

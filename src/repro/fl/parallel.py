@@ -1,51 +1,25 @@
-"""Thread-pool execution of client training, encoding, and decoding.
+"""Deprecated shim — the helpers moved to their real homes.
 
-The paper's APPFL deployment runs clients as MPI ranks; this module provides
-the equivalent intra-round parallelism for the in-process simulator.  NumPy
-releases the GIL inside its BLAS kernels, so training several clients in
-threads overlaps most of the heavy matrix work without any extra process or
-serialization machinery.
-
-Concurrency knobs
------------------
-
-* ``max_workers=1`` — strictly sequential execution, bit-identical to a plain
-  ``for`` loop (the deterministic reference the test suite pins the parallel
-  path against).
-* ``max_workers=N`` — up to ``N`` items in flight at once.
-* ``max_workers=None`` — let the executor pick (``min(32, cpu_count + 4)``).
-
-:class:`~repro.fl.simulation.FederatedSimulation` threads its ``max_workers``
-setting through these helpers for all three per-client stages of a round
-(train, encode, decode).  The generic mapping helpers live in
-:mod:`repro.utils.parallel` (they are shared with the chunked Huffman decoder,
-which sits below ``repro.fl`` in the layering) and are re-exported here for
-backwards compatibility.
+``map_parallel`` and ``resolve_worker_count`` live in
+:mod:`repro.utils.parallel` (the shared :class:`ExecutionBackend` layer), and
+``train_clients_parallel`` in :mod:`repro.fl.simulation` next to the round
+engine that drives it.  This module re-exports all three for one release so
+historic ``from repro.fl.parallel import ...`` statements keep working, but
+importing it emits a :class:`DeprecationWarning`; it will be removed in the
+release after next.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+import warnings
 
-from repro.fl.client import ClientUpdate, FLClient
-from repro.utils.parallel import map_parallel, resolve_worker_count
+warnings.warn(
+    "repro.fl.parallel is deprecated: import map_parallel/resolve_worker_count "
+    "from repro.utils.parallel and train_clients_parallel from "
+    "repro.fl.simulation (this shim will be removed in the next release)",
+    DeprecationWarning, stacklevel=2)
+
+from repro.fl.simulation import train_clients_parallel  # noqa: E402
+from repro.utils.parallel import map_parallel, resolve_worker_count  # noqa: E402
 
 __all__ = ["map_parallel", "resolve_worker_count", "train_clients_parallel"]
-
-
-def train_clients_parallel(clients: Sequence[FLClient], global_state: dict,
-                           epochs: int = 1, max_workers: int | None = None) -> list[ClientUpdate]:
-    """Broadcast ``global_state`` to every client and train them concurrently.
-
-    Returns the per-client :class:`ClientUpdate` objects in client order, ready
-    for FedAvg aggregation.  Each client owns a private model replica (and
-    ``receive_global`` copies the broadcast arrays), so no state is shared
-    between the training threads.
-    """
-    for client in clients:
-        client.receive_global(global_state)
-
-    def _train(client: FLClient) -> ClientUpdate:
-        return client.train_local(epochs=epochs)
-
-    return map_parallel(_train, clients, max_workers=max_workers)

@@ -13,12 +13,18 @@
 Round-engine knobs (all default to the original strictly-sequential,
 full-participation semantics, which the test suite pins bit-for-bit):
 
-* ``max_workers`` — client training and the per-client encode → transfer →
-  decode pipeline run on a thread pool of this size (see
-  :mod:`repro.fl.parallel`); with ``simulate_delay=True`` networks the
-  injected sleeps overlap across clients, so a parallel round's wall clock
-  approaches the slowest client instead of the sum.  ``max_workers=1`` is the
-  sequential reference path.
+* ``max_workers`` / ``backend`` — client training and the per-client
+  encode → transfer → decode pipeline fan out over an
+  :class:`~repro.utils.parallel.ExecutionBackend` pool of this size
+  (``serial`` / ``thread`` / ``process``); with ``simulate_delay=True``
+  networks the injected sleeps overlap across clients, so a parallel round's
+  wall clock approaches the slowest client instead of the sum.
+  ``max_workers=1`` (or ``backend="serial"``) is the sequential reference
+  path, and every backend/worker combination reproduces it bit-for-bit.  Both
+  per-client stages are module-level task functions over explicit picklable
+  argument structs, which is what lets the ``process`` backend ship them to a
+  GIL-free worker farm (clients mutated in a process worker are re-absorbed
+  from the returned updates, so the replicas stay consistent).
 * ``participation`` — clients sampled per round: a float in ``(0, 1]`` is a
   fraction of the fleet, an int ``> 1`` an absolute count.  Sampling is seeded
   and independent of the worker count.
@@ -49,11 +55,103 @@ from repro.data.datasets import Dataset
 from repro.data.partition import partition_dataset
 from repro.fl.client import ClientUpdate, FLClient
 from repro.fl.codec import FedSZUpdateCodec, RawUpdateCodec, UpdateCodec
-from repro.fl.parallel import map_parallel, train_clients_parallel
 from repro.fl.server import FedAvgServer
 from repro.nn.module import Module
+from repro.utils.parallel import ExecutionBackend, get_backend
 
-__all__ = ["RoundRecord", "SimulationResult", "FederatedSimulation"]
+__all__ = ["RoundRecord", "SimulationResult", "FederatedSimulation",
+           "train_clients_parallel"]
+
+
+def _train_client_task(task: "tuple[FLClient, dict, int]") -> ClientUpdate:
+    """Broadcast-and-train one client: ``(client, global_state, epochs)``.
+
+    Module-level and picklable for the process backend.  The broadcast happens
+    inside the task (clients are independent, so receive-then-train per client
+    is bit-identical to a global broadcast followed by training), and the
+    updated state travels back in the returned :class:`ClientUpdate` — the
+    caller re-absorbs it into its own replica when the backend does not share
+    memory.
+    """
+    client, global_state, epochs = task
+    client.receive_global(global_state)
+    return client.train_local(epochs=epochs)
+
+
+def train_clients_parallel(clients: Sequence[FLClient], global_state: dict,
+                           epochs: int = 1, max_workers: int | None = None,
+                           backend: "str | ExecutionBackend" = "thread") -> list[ClientUpdate]:
+    """Broadcast ``global_state`` to every client and train them concurrently.
+
+    Returns the per-client :class:`ClientUpdate` objects in client order, ready
+    for FedAvg aggregation.  Each client owns a private model replica (and
+    ``receive_global`` copies the broadcast arrays), so no state is shared
+    between training workers; on a process backend the trained state is loaded
+    back into the caller's replicas so every backend leaves the clients in the
+    same state.
+    """
+    exec_backend = get_backend(backend)
+    updates = exec_backend.map(_train_client_task,
+                               [(client, global_state, epochs) for client in clients],
+                               workers=max_workers)
+    if not exec_backend.shared_memory:
+        for client, update in zip(clients, updates):
+            client.receive_global(update.state)
+    return updates
+
+
+@dataclass
+class _ShipTask:
+    """Explicit picklable argument struct for :func:`_ship_update_task`."""
+
+    client_id: int
+    state: dict[str, np.ndarray]
+    codec: UpdateCodec
+    network: NetworkModel
+    #: reported transfer time is multiplied by this (1.0 = not a straggler)
+    straggler_slowdown: float
+
+
+@dataclass
+class _ShipResult:
+    """What one client's encode → transfer → decode stage hands back."""
+
+    client_id: int
+    payload_bytes: int
+    raw_bytes: int
+    encode_seconds: float
+    transfer_seconds: float
+    decode_seconds: float
+    state: dict[str, np.ndarray]
+    report: "FedSZReport | None"
+
+
+def _ship_update_task(task: _ShipTask) -> _ShipResult:
+    """Encode, transfer, and decode one client's update.
+
+    Runs per client on the execution backend so that simulated network delays
+    (``simulate_delay=True``, the paper's MPI-delay-injection methodology)
+    overlap across clients instead of sleeping serially.  Module-level with an
+    explicit argument struct so the process backend can ship it to a GIL-free
+    worker; per-client compression statistics come from the codec's per-call
+    reporting API, so they stay accurate at any worker count on any backend.
+    """
+    start = time.perf_counter()
+    payload, report = task.codec.encode_with_report(task.state)
+    encode_seconds = time.perf_counter() - start
+    raw_bytes = len(RawUpdateCodec().encode(task.state))
+
+    transfer_seconds = task.network.transfer_time(len(payload)) * task.straggler_slowdown
+    if task.network.simulate_delay:
+        time.sleep(transfer_seconds)
+
+    start = time.perf_counter()
+    state = task.codec.decode(payload)
+    decode_seconds = time.perf_counter() - start
+    return _ShipResult(client_id=task.client_id, payload_bytes=len(payload),
+                       raw_bytes=raw_bytes, encode_seconds=encode_seconds,
+                       transfer_seconds=transfer_seconds,
+                       decode_seconds=decode_seconds, state=state, report=report)
 
 
 @dataclass
@@ -134,9 +232,11 @@ class FederatedSimulation:
                  straggler_prob: float = 0.0, straggler_slowdown: float = 4.0,
                  networks: Sequence[NetworkModel] | None = None,
                  uplink: str = "serial",
-                 compute_factors: Sequence[float] | None = None) -> None:
+                 compute_factors: Sequence[float] | None = None,
+                 backend: "str | ExecutionBackend" = "thread") -> None:
         if max_workers is not None and max_workers < 1:
             raise ValueError("max_workers must be >= 1")
+        self.backend = get_backend(backend)  # unknown names raise ValueError
         if uplink not in UPLINK_MODES:
             raise ValueError(f"uplink must be one of {UPLINK_MODES}, got {uplink!r}")
         if isinstance(participation, bool) or not isinstance(participation, (int, float)):
@@ -235,52 +335,27 @@ class FederatedSimulation:
 
         updates: list[ClientUpdate] = train_clients_parallel(
             active, global_state, epochs=self.local_epochs,
-            max_workers=self.max_workers) if active else []
+            max_workers=self.max_workers, backend=self.backend) if active else []
 
-        raw_codec = RawUpdateCodec()
-
-        def _ship(item: tuple[int, ClientUpdate]) -> tuple:
-            """Encode, transfer, and decode one client's update.
-
-            Runs per client on the worker pool so that simulated network
-            delays (``simulate_delay=True``, the paper's MPI-delay-injection
-            methodology) overlap across clients instead of sleeping serially.
-            Per-client compression statistics come from the codec's per-call
-            reporting API, so they stay accurate at any worker count.
-            """
-            client_id, update = item
-            start = time.perf_counter()
-            payload, report = self.codec.encode_with_report(update.state)
-            encode_seconds = time.perf_counter() - start
-            raw_size = len(raw_codec.encode(update.state))
-
-            network = self.client_networks[client_id]
-            transfer_seconds = network.transfer_time(len(payload))
-            if client_id in straggler_set:
-                transfer_seconds *= self.straggler_slowdown
-            if network.simulate_delay:
-                time.sleep(transfer_seconds)
-
-            start = time.perf_counter()
-            state = self.codec.decode(payload)
-            decode_seconds = time.perf_counter() - start
-            return payload, encode_seconds, raw_size, transfer_seconds, state, decode_seconds, report
-
-        shipped = map_parallel(_ship, list(zip(participants, updates)),
-                               max_workers=self.max_workers)
-        encoded = [(payload, enc, raw) for payload, enc, raw, *_ in shipped]
-        transfer_times = [transfer for _, _, _, transfer, _, _, _ in shipped]
-        decoded = [(state, dec) for _, _, _, _, state, dec, _ in shipped]
-        client_reports = {cid: report
-                          for cid, (*_, report) in zip(participants, shipped)
-                          if report is not None}
+        tasks = [
+            _ShipTask(client_id=cid, state=update.state, codec=self.codec,
+                      network=self.client_networks[cid],
+                      straggler_slowdown=self.straggler_slowdown
+                      if cid in straggler_set else 1.0)
+            for cid, update in zip(participants, updates)
+        ]
+        shipped: list[_ShipResult] = self.backend.map(
+            _ship_update_task, tasks, workers=self.max_workers)
+        transfer_times = [result.transfer_seconds for result in shipped]
+        client_reports = {result.client_id: result.report for result in shipped
+                          if result.report is not None}
 
         train_times = [
             update.train_seconds * (self.straggler_slowdown if cid in straggler_set else 1.0)
             for cid, update in zip(participants, updates)
         ]
         losses = [update.train_loss for update in updates]
-        decoded_states = [state for state, _ in decoded]
+        decoded_states = [result.state for result in shipped]
         weights = [update.num_samples for update in updates]
 
         self.server.aggregate(decoded_states, weights, allow_empty=True)
@@ -295,11 +370,11 @@ class FederatedSimulation:
             round_index=round_index,
             accuracy=accuracy,
             mean_train_seconds=_mean(train_times),
-            mean_encode_seconds=_mean([seconds for _, seconds, _ in encoded]),
-            mean_decode_seconds=_mean([seconds for _, seconds in decoded]),
+            mean_encode_seconds=_mean([result.encode_seconds for result in shipped]),
+            mean_decode_seconds=_mean([result.decode_seconds for result in shipped]),
             validation_seconds=validation_seconds,
-            uncompressed_bytes=sum(raw_size for _, _, raw_size in encoded),
-            transmitted_bytes=sum(len(payload) for payload, _, _ in encoded),
+            uncompressed_bytes=sum(result.raw_bytes for result in shipped),
+            transmitted_bytes=sum(result.payload_bytes for result in shipped),
             communication_seconds=round_communication_time(transfer_times, self.uplink),
             client_losses=losses,
             participants=list(participants),

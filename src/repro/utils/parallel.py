@@ -1,59 +1,310 @@
-"""Generic thread-pool mapping helpers shared across the code base.
+"""Pluggable execution backends shared across the code base.
 
-Both the federated round engine (training / encoding / decoding several
-clients per round) and the chunked Huffman entropy stage (decoding independent
-bitstream chunks) fan work out over a :class:`ThreadPoolExecutor`.  The knobs
-are uniform everywhere:
+Every fan-out in the repository — the federated round engine (training /
+shipping several clients per round), the per-tensor plan pipeline, and the
+chunked Huffman entropy stage — goes through one :class:`ExecutionBackend`
+abstraction with three built-in implementations:
 
-* ``max_workers=1`` — strictly sequential execution, bit-identical to a plain
-  ``for`` loop (the deterministic reference the test suite pins the parallel
-  paths against).
-* ``max_workers=N`` — up to ``N`` items in flight at once.
-* ``max_workers=None`` — let the executor pick (``min(32, cpu_count + 4)``).
+* ``serial`` — strictly sequential execution on the calling thread, always
+  bit-identical to a plain ``for`` loop (the deterministic reference the test
+  suite pins the parallel paths against, and exactly what ``max_workers=1``
+  selects on the other backends).
+* ``thread`` — a :class:`~concurrent.futures.ThreadPoolExecutor`.  Best when
+  the work releases the GIL (NumPy BLAS kernels, simulated network sleeps);
+  the historic default everywhere.
+* ``process`` — a :class:`~concurrent.futures.ProcessPoolExecutor`.  Scales
+  pure-Python/CPU work past the GIL (the paper's many-core server decoding
+  hundreds of client updates per round), at the price of a picklability
+  contract: the mapped function must be a module-level callable and both its
+  arguments and results must pickle.  Closures and lambdas are rejected by
+  pickle itself.
 
-This module is dependency-free on purpose: it sits below both
-``repro.fl`` and ``repro.compressors`` in the layering, so either side can
+Worker-count semantics are uniform across backends:
+
+* ``workers=1`` — strictly sequential execution on the calling thread, no
+  pool is created (bit-identical to the ``serial`` backend).
+* ``workers=N`` — up to ``N`` items in flight at once.
+* ``workers=None`` — the backend default: ``min(32, cpu_count + 4)`` for
+  threads (the executor's own heuristic, tuned for I/O-ish overlap) but
+  ``cpu_count`` for processes — a process pool is pure CPU fan-out, so the
+  thread heuristic would oversubscribe it.
+
+Process pools never nest: a ``process`` map issued from inside a process-pool
+worker (e.g. a pipeline worker whose entropy stage also asks for processes)
+degrades to sequential execution in that worker instead of forking
+grandchildren.
+
+This module is dependency-free on purpose: it sits below ``repro.fl``,
+``repro.core``, and ``repro.compressors`` in the layering, so every side can
 import it without cycles.
 """
 
 from __future__ import annotations
 
+import abc
 import os
-from concurrent.futures import ThreadPoolExecutor
-from typing import Callable, Sequence, TypeVar
+from concurrent.futures import Executor, Future, ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Callable, Iterable, Sequence, TypeVar
 
-__all__ = ["map_parallel", "resolve_worker_count"]
+__all__ = [
+    "ExecutionBackend",
+    "SerialBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+    "map_parallel",
+    "resolve_worker_count",
+]
 
 T = TypeVar("T")
 R = TypeVar("R")
 
+#: Environment marker set in every process-pool worker so nested ``process``
+#: maps degrade to sequential execution instead of forking grandchildren.
+_PROCESS_WORKER_ENV = "REPRO_EXECUTION_PROCESS_WORKER"
 
-def resolve_worker_count(max_workers: int | None, n_items: int) -> int:
-    """Effective number of worker threads for ``n_items`` units of work.
 
-    ``None`` resolves to the :class:`ThreadPoolExecutor` default of
-    ``min(32, cpu_count + 4)``; the result is always clamped to ``n_items``
-    (never spawn idle threads) and to a floor of 1.
+def _mark_process_worker() -> None:
+    """Pool initializer: tag the worker so nested process maps stay flat."""
+    os.environ[_PROCESS_WORKER_ENV] = "1"
+
+
+def _in_process_worker() -> bool:
+    return os.environ.get(_PROCESS_WORKER_ENV) == "1"
+
+
+class _SerialExecutor(Executor):
+    """`submit` semantics for the serial backend: run inline, wrap the result."""
+
+    def submit(self, fn, /, *args, **kwargs) -> Future:
+        future: Future = Future()
+        try:
+            future.set_result(fn(*args, **kwargs))
+        except BaseException as exc:  # noqa: BLE001 - mirrored into the future
+            future.set_exception(exc)
+        return future
+
+
+class ExecutionBackend(abc.ABC):
+    """One way of running independent work items: serial, threads, or processes.
+
+    Backends are stateless and picklable; pools live only for the duration of
+    a single :meth:`map` or :meth:`executor` call, so instances are safe to
+    share between threads and to embed in compressor objects that cross a
+    process boundary themselves.
     """
-    if max_workers is not None and max_workers < 1:
-        raise ValueError("max_workers must be >= 1")
-    if max_workers is None:
-        max_workers = min(32, (os.cpu_count() or 1) + 4)
-    return max(1, min(max_workers, n_items))
+
+    #: registry key; also what ``repr`` and the CLI show
+    name: str = "base"
+
+    #: True when workers contend for one GIL (threads): pure-CPU call sites
+    #: clamp their fan-out to the physical cores on such backends, because
+    #: extra workers are strict oversubscription.  GIL-free backends honour
+    #: the requested count — their workers really do run concurrently.
+    gil_bound: bool = False
+
+    #: True when workers see (and may mutate) the caller's objects.  On a
+    #: non-shared-memory backend (processes) arguments are copied to the
+    #: worker, so in-place mutations are confined to the task and only the
+    #: *returned* values travel back — callers that rely on side effects must
+    #: re-absorb them from the results.
+    shared_memory: bool = True
+
+    @abc.abstractmethod
+    def default_workers(self) -> int:
+        """Worker count used when the caller passes ``workers=None``."""
+
+    def resolve_workers(self, workers: int | None, n_items: int) -> int:
+        """Effective worker count for ``n_items`` units of work.
+
+        ``None`` resolves to :meth:`default_workers`; the result is always
+        clamped to ``n_items`` (never spawn idle workers) and to a floor of 1.
+        """
+        if workers is not None and workers < 1:
+            raise ValueError("workers must be >= 1")
+        if workers is None:
+            workers = self.default_workers()
+        return max(1, min(workers, n_items))
+
+    @abc.abstractmethod
+    def _make_executor(self, workers: int) -> Executor:
+        """A fresh executor with ``workers`` slots (``submit`` semantics)."""
+
+    def executor(self, workers: int | None = None, n_items: int | None = None) -> Executor:
+        """A context-managed executor for callers that need ``submit``.
+
+        ``n_items`` (when known) participates in worker resolution exactly as
+        in :meth:`map`; without it the requested (or default) count is used
+        unclamped.
+        """
+        if n_items is not None:
+            resolved = self.resolve_workers(workers, n_items)
+        else:
+            if workers is not None and workers < 1:
+                raise ValueError("workers must be >= 1")
+            resolved = max(1, workers if workers is not None else self.default_workers())
+        return self._make_executor(resolved)
+
+    def map(self, func: Callable[[T], R], items: Sequence[T],
+            workers: int | None = None, chunksize: int | None = None) -> list[R]:
+        """Apply ``func`` to every item, preserving order.
+
+        With one resolved worker (or zero/one items) the call degenerates to a
+        plain sequential loop on the calling thread, which keeps the behaviour
+        deterministic for tests and avoids pool startup.  An exception raised
+        by any ``func`` call propagates to the caller on every backend.
+
+        ``chunksize`` batches items per task dispatch where the backend
+        supports it (processes); ``None`` picks a batch that spreads the items
+        about four tasks deep per worker to amortize pickling overhead.
+        """
+        items = list(items)
+        if not items:
+            return []
+        workers = self.resolve_workers(workers, len(items))
+        if workers == 1:
+            return [func(item) for item in items]
+        return self._map_concurrent(func, items, workers, chunksize)
+
+    def _map_concurrent(self, func: Callable[[T], R], items: list[T],
+                        workers: int, chunksize: int | None) -> list[R]:
+        with self._make_executor(workers) as pool:
+            return list(pool.map(func, items))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
+        return f"{type(self).__name__}(name={self.name!r})"
 
 
-def map_parallel(func: Callable[[T], R], items: Sequence[T], max_workers: int | None = None) -> list[R]:
-    """Apply ``func`` to every item using a thread pool, preserving order.
+class SerialBackend(ExecutionBackend):
+    """Sequential execution on the calling thread (the reference semantics)."""
 
-    With ``max_workers=1`` (or a single item) the call degenerates to a plain
-    sequential map, which keeps the behaviour deterministic for tests.  An
-    exception raised by any ``func`` call propagates to the caller either way.
+    name = "serial"
+
+    def default_workers(self) -> int:
+        return 1
+
+    def resolve_workers(self, workers: int | None, n_items: int) -> int:
+        # validate like the pooled backends, but serial is always one worker
+        if workers is not None and workers < 1:
+            raise ValueError("workers must be >= 1")
+        return 1
+
+    def _make_executor(self, workers: int) -> Executor:
+        return _SerialExecutor()
+
+
+class ThreadBackend(ExecutionBackend):
+    """Thread-pool execution (GIL-sharing; best for BLAS / I/O overlap)."""
+
+    name = "thread"
+    gil_bound = True
+
+    def default_workers(self) -> int:
+        # the ThreadPoolExecutor heuristic: a few threads beyond the core
+        # count keep I/O-ish work (simulated transfers, zlib) overlapped
+        return min(32, (os.cpu_count() or 1) + 4)
+
+    def _make_executor(self, workers: int) -> Executor:
+        return ThreadPoolExecutor(max_workers=workers)
+
+
+class ProcessBackend(ExecutionBackend):
+    """Process-pool execution (GIL-free; requires picklable tasks).
+
+    The mapped function must be defined at module level and its arguments and
+    results must pickle — the contract every task function in
+    ``repro.compressors.huffman``, ``repro.core.pipeline``, and
+    ``repro.fl.simulation`` honours.  Inside a process-pool worker the backend
+    degrades to sequential execution, so nested fan-outs stay flat.
     """
-    items = list(items)
-    if not items:
-        return []
-    workers = resolve_worker_count(max_workers, len(items))
-    if workers == 1:
-        return [func(item) for item in items]
-    with ThreadPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(func, items))
+
+    name = "process"
+    shared_memory = False
+
+    def default_workers(self) -> int:
+        # one process per core: unlike threads there is nothing to overlap
+        # past the cores, so the thread heuristic (+4) would oversubscribe
+        return os.cpu_count() or 1
+
+    def _make_executor(self, workers: int) -> Executor:
+        if _in_process_worker():
+            # never nest: submit-style use inside a process-pool worker runs
+            # inline, mirroring the map() degrade
+            return _SerialExecutor()
+        return ProcessPoolExecutor(max_workers=workers,
+                                   initializer=_mark_process_worker)
+
+    def _map_concurrent(self, func: Callable[[T], R], items: list[T],
+                        workers: int, chunksize: int | None) -> list[R]:
+        if _in_process_worker():
+            return [func(item) for item in items]
+        if chunksize is None:
+            chunksize = max(1, len(items) // (workers * 4))
+        with self._make_executor(workers) as pool:
+            return list(pool.map(func, items, chunksize=chunksize))
+
+
+_BACKENDS: dict[str, ExecutionBackend] = {}
+
+
+def register_backend(backend: ExecutionBackend) -> ExecutionBackend:
+    """Add ``backend`` to the registry (keyed by its ``name``) and return it."""
+    if not backend.name or backend.name == "base":
+        raise ValueError("backend must define a non-default name")
+    _BACKENDS[backend.name] = backend
+    return backend
+
+
+register_backend(SerialBackend())
+register_backend(ThreadBackend())
+register_backend(ProcessBackend())
+
+
+def available_backends() -> tuple[str, ...]:
+    """Registered backend names, in registration order."""
+    return tuple(_BACKENDS)
+
+
+def get_backend(backend: "str | ExecutionBackend") -> ExecutionBackend:
+    """Resolve a backend name to its registry instance.
+
+    Instances pass through unchanged, so APIs can accept either form.  An
+    unknown name raises :class:`ValueError` with the available choices (the
+    CLI surfaces this as a one-line error).
+    """
+    if isinstance(backend, ExecutionBackend):
+        return backend
+    try:
+        return _BACKENDS[backend]
+    except KeyError:
+        raise ValueError(f"unknown execution backend {backend!r}; available: "
+                         f"{', '.join(available_backends())}") from None
+
+
+def resolve_worker_count(max_workers: int | None, n_items: int,
+                         backend: "str | ExecutionBackend" = "thread") -> int:
+    """Effective number of workers for ``n_items`` units of work on ``backend``.
+
+    ``None`` resolves to the backend default — ``min(32, cpu_count + 4)`` for
+    threads, ``cpu_count`` for processes, always 1 for serial — and the result
+    is clamped to ``n_items`` (never spawn idle workers) and to a floor of 1.
+    """
+    return get_backend(backend).resolve_workers(max_workers, n_items)
+
+
+def map_parallel(func: Callable[[T], R], items: Sequence[T],
+                 max_workers: int | None = None,
+                 backend: "str | ExecutionBackend" = "thread",
+                 chunksize: int | None = None) -> list[R]:
+    """Apply ``func`` to every item on the named backend, preserving order.
+
+    The historic thread-pool helper, now a thin wrapper over
+    :meth:`ExecutionBackend.map`; ``backend="serial"`` (or ``max_workers=1``
+    on any backend) is the plain sequential loop.  The ``process`` backend
+    requires ``func`` and the items to satisfy the picklability contract
+    documented on :class:`ProcessBackend`.
+    """
+    return get_backend(backend).map(func, items, workers=max_workers,
+                                    chunksize=chunksize)

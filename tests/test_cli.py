@@ -56,6 +56,14 @@ class TestParser:
         assert defaults.entropy_chunk == 65536
         assert defaults.entropy_workers == 1
 
+    def test_backend_flag(self):
+        for command in ("compress", "simulate"):
+            args = build_parser().parse_args([command, "--backend", "process"])
+            assert args.backend == "process"
+            assert build_parser().parse_args([command]).backend == "thread"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["compress", "--backend", "mpi"])
+
     def test_plan_flags(self):
         for command in ("compress", "simulate"):
             args = build_parser().parse_args([command, "--policy", "mixed-codec",

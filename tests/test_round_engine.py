@@ -15,7 +15,7 @@ from repro.fl import (
     map_parallel,
     train_clients_parallel,
 )
-from repro.fl.parallel import resolve_worker_count
+from repro.utils.parallel import resolve_worker_count
 from repro.nn import build_model
 
 
