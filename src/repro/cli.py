@@ -30,6 +30,7 @@ from repro.core import (
     FedSZConfig,
     NetworkModel,
     crossover_bandwidth,
+    make_client_networks,
     select_compressor,
 )
 from repro.data import make_dataset, train_test_split
@@ -85,7 +86,9 @@ def _add_plan_arguments(parser: argparse.ArgumentParser) -> None:
     """Knobs of the plan-driven per-tensor compression pipeline."""
     parser.add_argument("--policy", default=FedSZConfig.policy,
                         help="plan policy assigning each lossy tensor its codec and "
-                             "bound: uniform, size-adaptive, or mixed-codec")
+                             "bound: uniform, size-adaptive, mixed-codec, or "
+                             "profiled (measures the candidate grid and picks the "
+                             "Eqn.-1 optimum for the --bandwidth link)")
     parser.add_argument("--pipeline-workers", type=int, default=FedSZConfig.pipeline_workers,
                         help="per-tensor compress/decompress threads (1 = the "
                              "sequential reference path; bitstreams are "
@@ -105,6 +108,11 @@ def _fedsz_config(args: argparse.Namespace, **extra) -> FedSZConfig:
     policy_options = dict(extra.pop("policy_options", {}))
     if args.policy == "mixed-codec":
         policy_options.setdefault("small_codec", args.small_tensor_codec)
+    elif args.policy == "profiled":
+        # profile against the link the command models; the analytic cost model
+        # keeps CLI runs reproducible on any host
+        policy_options.setdefault("bandwidth_mbps", args.bandwidth)
+        policy_options.setdefault("max_bound", args.bound)
     return FedSZConfig(error_bound=args.bound, entropy_chunk=args.entropy_chunk,
                        entropy_workers=args.entropy_workers, policy=args.policy,
                        pipeline_workers=args.pipeline_workers,
@@ -124,6 +132,8 @@ def build_parser() -> argparse.ArgumentParser:
     compress.add_argument("--compressor", default="sz2",
                           help="lossy EBLC for large weight tensors (sz2, sz3, szx, zfp)")
     compress.add_argument("--lossless", default="blosclz", help="lossless codec for metadata")
+    compress.add_argument("--bandwidth", type=float, default=10.0,
+                          help="uplink Mbps the profiled policy plans against")
     _add_entropy_arguments(compress)
     _add_plan_arguments(compress)
     _add_backend_argument(compress)
@@ -137,6 +147,12 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--image-size", type=int, default=16)
     simulate.add_argument("--bound", type=float, default=1e-2)
     simulate.add_argument("--bandwidth", type=float, default=10.0, help="uplink Mbps")
+    simulate.add_argument("--bandwidth-spread", type=float, default=1.0,
+                          help="heterogeneous fleet: per-client bandwidths drawn "
+                               "log-uniformly from [bandwidth/spread, "
+                               "bandwidth*spread] (1.0 = identical links); with "
+                               "--policy profiled every client plans for its own "
+                               "link")
     simulate.add_argument("--seed", type=int, default=0)
     simulate.add_argument("--workers", type=int, default=1,
                           help="worker-pool size for per-client train/encode/decode "
@@ -203,17 +219,24 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     network = NetworkModel(bandwidth_mbps=args.bandwidth)
     try:
         # codec construction resolves the policy and codec registries, so an
-        # unknown name fails here with a one-line error instead of a traceback
+        # unknown name fails here with a one-line error instead of a traceback;
+        # a heterogeneous fleet draws seeded per-client links around --bandwidth
         codecs = {"uncompressed": RawUpdateCodec(),
                   "fedsz": FedSZUpdateCodec(_fedsz_config(args))}
+        networks = make_client_networks(args.clients, base=network,
+                                        bandwidth_spread=args.bandwidth_spread,
+                                        seed=args.seed) \
+            if args.bandwidth_spread != 1.0 else None
     except ValueError as exc:
         print(f"repro simulate: error: {exc}", file=sys.stderr)
         return 2
     results = {}
+    last_sims = {}
     for label, codec in codecs.items():
         try:
             sim = FederatedSimulation(factory, train, test, n_clients=args.clients, codec=codec,
-                                      network=network, lr=0.15, seed=args.seed + 2,
+                                      network=network, networks=networks, lr=0.15,
+                                      seed=args.seed + 2,
                                       max_workers=args.workers, participation=args.participation,
                                       dropout_prob=args.dropout, straggler_prob=args.straggler,
                                       backend=args.backend)
@@ -223,8 +246,19 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             print(f"repro simulate: error: {exc}", file=sys.stderr)
             return 2
         results[label] = sim.run(args.rounds)
+        last_sims[label] = sim
         accs = "  ".join(f"{a:.2%}" for a in results[label].accuracies)
         print(f"{label:>13}: {accs}")
+
+    final_plans = results["fedsz"].rounds[-1].client_plans if results["fedsz"].rounds else {}
+    if final_plans and args.bandwidth_spread != 1.0:
+        print("\nper-client plans (final round):")
+        fedsz_sim = last_sims["fedsz"]
+        for cid in sorted(final_plans):
+            plan = final_plans[cid]
+            link = fedsz_sim.client_networks[cid]
+            print(f"  client {cid}: {link.bandwidth_mbps:8.1f} Mbps -> "
+                  f"codecs {', '.join(plan.codecs)}")
 
     raw, fedsz = results["uncompressed"], results["fedsz"]
     print(f"\nfinal accuracy: uncompressed {raw.final_accuracy:.2%} vs fedsz {fedsz.final_accuracy:.2%}")

@@ -34,6 +34,7 @@ from repro.compressors.registry import available_lossy, get_lossy, register_loss
 from repro.compressors.sz2 import SZ2Compressor
 from repro.compressors.sz3 import SZ3Compressor
 from repro.compressors.szx import SZxCompressor
+from repro.compressors.verbatim import VerbatimCompressor
 from repro.compressors.zfp import ZFPCompressor
 
 __all__ = [
@@ -48,6 +49,7 @@ __all__ = [
     "SZ2Compressor",
     "SZ3Compressor",
     "SZxCompressor",
+    "VerbatimCompressor",
     "ZFPCompressor",
     "LosslessCodec",
     "BloscLZCodec",

@@ -1,8 +1,9 @@
 """Registry of the error-bounded lossy compressors.
 
 The FedSZ pipeline and the benchmark harness look compressors up by name
-(``"sz2"``, ``"sz3"``, ``"szx"``, ``"zfp"``); third-party compressors can be
-added with :func:`register_lossy` as long as they subclass
+(``"sz2"``, ``"sz3"``, ``"szx"``, ``"zfp"``, plus the ``"verbatim"`` lossless
+fallback tier); third-party compressors can be added with
+:func:`register_lossy` as long as they subclass
 :class:`~repro.compressors.base.LossyCompressor`.
 """
 
@@ -14,6 +15,7 @@ from repro.compressors.base import ErrorBound, ErrorBoundMode, LossyCompressor
 from repro.compressors.sz2 import SZ2Compressor
 from repro.compressors.sz3 import SZ3Compressor
 from repro.compressors.szx import SZxCompressor
+from repro.compressors.verbatim import VerbatimCompressor
 from repro.compressors.zfp import ZFPCompressor
 
 __all__ = ["available_lossy", "get_lossy", "register_lossy"]
@@ -23,6 +25,9 @@ _LOSSY: dict[str, Callable[..., LossyCompressor]] = {
     "sz3": SZ3Compressor,
     "szx": SZxCompressor,
     "zfp": ZFPCompressor,
+    # lossless fallback tier of the profiled plan policy: ships the tensor
+    # bit-exactly when Eqn. (1) says no EBLC pays for itself on the link
+    "verbatim": VerbatimCompressor,
 }
 
 

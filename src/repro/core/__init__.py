@@ -12,13 +12,17 @@ The core package implements Algorithm 1 and Figure 1 of the paper:
    single self-describing (version-4, possibly mixed-codec) bitstream per
    client update,
 4. :mod:`repro.core.network` — the bandwidth/benefit model of Eqn. (1),
-5. :mod:`repro.core.selection` — the compressor- and error-bound-selection
-   optimizers of Problems (2) and (3).
+5. :mod:`repro.core.profiling` — the measured-candidate profiling subsystem
+   (sampled roundtrips, cached :class:`TensorProfile`\\ s, Pareto frontier)
+   behind the ``profiled`` plan policy,
+6. :mod:`repro.core.selection` — the compressor- and error-bound-selection
+   optimizers of Problems (2) and (3), now thin wrappers over the profiler.
 """
 
 from repro.core.adaptive import AdaptiveBoundPolicy, AdaptiveFedSZCompressor
 from repro.core.config import FedSZConfig
 from repro.core.plan import (
+    PLAN_PROVENANCE_KEY,
     CompressionPlan,
     CompressionPolicy,
     MixedCodecPolicy,
@@ -35,8 +39,17 @@ from repro.core.network import (
     communication_time,
     compression_is_worthwhile,
     crossover_bandwidth,
+    end_to_end_seconds,
     make_client_networks,
     round_communication_time,
+)
+from repro.core.profiling import (
+    AnalyticCostModel,
+    CandidateMeasurement,
+    CodecProfiler,
+    CostModel,
+    ProfiledPolicy,
+    TensorProfile,
 )
 from repro.core.partition import (
     PartitionedState,
@@ -73,8 +86,16 @@ __all__ = [
     "communication_time",
     "compression_is_worthwhile",
     "crossover_bandwidth",
+    "end_to_end_seconds",
     "make_client_networks",
     "round_communication_time",
+    "PLAN_PROVENANCE_KEY",
+    "AnalyticCostModel",
+    "CandidateMeasurement",
+    "CodecProfiler",
+    "CostModel",
+    "ProfiledPolicy",
+    "TensorProfile",
     "CandidateEvaluation",
     "select_compressor",
     "select_error_bound",

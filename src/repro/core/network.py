@@ -31,6 +31,7 @@ __all__ = [
     "communication_time",
     "compression_is_worthwhile",
     "crossover_bandwidth",
+    "end_to_end_seconds",
     "round_communication_time",
     "make_client_networks",
     "NetworkModel",
@@ -50,12 +51,24 @@ def communication_time(size_bytes: float, bandwidth_mbps: float, latency_s: floa
     return latency_s + (size_bytes * 8.0) / (bandwidth_mbps * 1e6)
 
 
+def end_to_end_seconds(compress_s: float, decompress_s: float, payload_bytes: float,
+                       bandwidth_mbps: float, latency_s: float = 0.0) -> float:
+    """Left-hand side of Eqn. (1): ``t_C + t_D + S'/B_N`` for one payload.
+
+    The quantity both Problems 1 and 2 minimize; the profiled plan policy
+    evaluates it per candidate and per link.  Shipping uncompressed is the
+    special case ``compress_s = decompress_s = 0`` with the original size.
+    """
+    return compress_s + decompress_s + communication_time(payload_bytes, bandwidth_mbps,
+                                                          latency_s)
+
+
 def compression_is_worthwhile(compress_s: float, decompress_s: float, original_bytes: float,
                               compressed_bytes: float, bandwidth_mbps: float,
                               latency_s: float = 0.0) -> bool:
     """Evaluate Eqn. (1): does compressing reduce the end-to-end transfer time?"""
-    with_compression = (compress_s + decompress_s
-                        + communication_time(compressed_bytes, bandwidth_mbps, latency_s))
+    with_compression = end_to_end_seconds(compress_s, decompress_s, compressed_bytes,
+                                          bandwidth_mbps, latency_s)
     without_compression = communication_time(original_bytes, bandwidth_mbps, latency_s)
     return with_compression < without_compression
 

@@ -49,7 +49,15 @@ from repro.compressors.lossless import LosslessCodec, get_lossless
 from repro.compressors.registry import available_lossy, get_lossy
 from repro.core.config import FedSZConfig
 from repro.core.partition import PartitionedState, partition_state_dict
-from repro.core.plan import CompressionPlan, CompressionPolicy, TensorPlan, get_policy, unpack_plan, pack_plan
+from repro.core.plan import (
+    PLAN_PROVENANCE_KEY,
+    CompressionPlan,
+    CompressionPolicy,
+    TensorPlan,
+    get_policy,
+    pack_plan,
+    unpack_plan,
+)
 from repro.utils.parallel import get_backend, map_parallel
 from repro.utils.serialization import pack_arrays, pack_bytes_dict, unpack_arrays, unpack_bytes_dict
 
@@ -180,6 +188,10 @@ class FedSZReport:
     lossless_compressed_bytes: int
     compress_seconds: float
     decompress_seconds: float = 0.0
+    #: the per-tensor plan this call applied (compress side) or decoded from
+    #: the manifest (decompress side); per-call like the rest of the report,
+    #: so it is race-free where ``last_plan`` is a shared single slot
+    plan: "CompressionPlan | None" = None
 
     @property
     def ratio(self) -> float:
@@ -281,13 +293,19 @@ class FedSZCompressor:
         return self.policy.build_plan(partition.lossy, self._plan_config)
 
     def _compressor_for(self, plan: TensorPlan) -> LossyCompressor:
-        """A lossy compressor configured exactly as ``plan`` prescribes."""
-        if plan.codec == self.lossy.name and not plan.options:
+        """A lossy compressor configured exactly as ``plan`` prescribes.
+
+        The reserved provenance options entry is metadata *about* the plan,
+        not a codec option, and is stripped before construction.
+        """
+        options = {key: value for key, value in plan.options.items()
+                   if key != PLAN_PROVENANCE_KEY}
+        if plan.codec == self.lossy.name and not options:
             # reuse the (possibly injected) instance so non-registry
             # compressors keep working; cloning re-binds only the bound
             return self.lossy.with_error_bound(plan.error_bound, plan.mode)
         kwargs = lossy_kwargs_from_config(self.config, plan.codec)
-        kwargs.update(plan.options)
+        kwargs.update(options)
         return get_lossy(plan.codec, error_bound=plan.error_bound, mode=plan.mode,
                          **kwargs)
 
@@ -353,6 +371,7 @@ class FedSZCompressor:
             lossless_original_bytes=partition.lossless_bytes,
             lossless_compressed_bytes=len(lossless_payload),
             compress_seconds=elapsed,
+            plan=plan,
         )
         self.last_report = report
         self.last_plan = plan
@@ -448,6 +467,7 @@ class FedSZCompressor:
             lossless_compressed_bytes=len(lossless_payload),
             compress_seconds=0.0,
             decompress_seconds=elapsed,
+            plan=plan,
         )
         return state, report
 

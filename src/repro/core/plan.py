@@ -21,7 +21,15 @@ tensor.  This module is that tuning layer:
   - ``size-adaptive`` — per-tensor bounds shrunk on small, high-leverage
     tensors (absorbs :class:`AdaptiveBoundPolicy`),
   - ``mixed-codec`` — a fast codec (SZx by default) below an element-count
-    cutoff, a high-ratio codec above it.
+    cutoff, a high-ratio codec above it,
+  - ``profiled`` — measured Pareto selection per link bandwidth (Problems 1
+    and 2, Section IV); lives in :mod:`repro.core.profiling` and is
+    registered here through a lazy factory.
+
+Policies may attach machine-readable *provenance* — why each tensor got its
+plan — under the reserved :data:`PLAN_PROVENANCE_KEY` options key; the
+pipeline strips it before constructing codecs, so it rides the manifest's plan
+summary without affecting the bitstream payloads (documented in FORMATS.md).
 
 Layering: this module sits *below* :mod:`repro.core.pipeline` (which consumes
 plans) and imports only the compressor base types, so policies never create
@@ -43,6 +51,7 @@ import numpy as np
 from repro.compressors.base import ErrorBoundMode
 
 __all__ = [
+    "PLAN_PROVENANCE_KEY",
     "TensorPlan",
     "CompressionPlan",
     "pack_plan",
@@ -60,6 +69,13 @@ __all__ = [
 #: Bound-mode wire codes (u8 in the manifest plan block).
 _MODE_CODES = {ErrorBoundMode.ABS: 0, ErrorBoundMode.REL: 1}
 _CODE_MODES = {code: mode for mode, code in _MODE_CODES.items()}
+
+#: Reserved ``TensorPlan.options`` key carrying policy provenance metadata.
+#: Every other options key is forwarded to the codec factory; this one is
+#: stripped by the pipeline before codec construction, so policies can record
+#: *why* a tensor got its plan (the profiled policy's modeled times, Eqn.-1
+#: verdict, ...) in the manifest's plan summary without perturbing payloads.
+PLAN_PROVENANCE_KEY = "__provenance__"
 
 
 @dataclass(frozen=True)
@@ -317,6 +333,16 @@ class CompressionPolicy(abc.ABC):
         can build plans from several round-engine threads at once."""
         return None
 
+    def for_network(self, network) -> "CompressionPolicy":
+        """Resolve this policy against one client's link.
+
+        Bandwidth-aware policies (``profiled``) return a variant bound to
+        ``network`` — the hook the round engine uses to give every client of a
+        heterogeneous fleet its own per-link plan.  The default is a no-op:
+        most policies decide independently of the link.
+        """
+        return self
+
     @abc.abstractmethod
     def _plan_tensor(self, name: str, array: np.ndarray, config,
                      context: object) -> TensorPlan:
@@ -484,10 +510,23 @@ class MixedCodecPolicy(CompressionPolicy):
 # Registry
 # ---------------------------------------------------------------------------
 
+def _profiled_policy_factory(**kwargs: object) -> CompressionPolicy:
+    """Lazy factory for the ``profiled`` policy.
+
+    :mod:`repro.core.profiling` sits above this module (it imports the codec
+    registry and the network model), so the registry resolves it on first use
+    instead of importing it here and closing a cycle.
+    """
+    from repro.core.profiling import ProfiledPolicy
+
+    return ProfiledPolicy(**kwargs)
+
+
 _POLICIES: dict[str, Callable[..., CompressionPolicy]] = {
     UniformPolicy.name: UniformPolicy,
     SizeAdaptivePolicy.name: SizeAdaptivePolicy,
     MixedCodecPolicy.name: MixedCodecPolicy,
+    "profiled": _profiled_policy_factory,
 }
 
 

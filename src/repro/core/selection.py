@@ -8,7 +8,13 @@ Problem 2 (Eqn. 3): choose the error bound that minimizes communication cost
 while keeping the inference-accuracy drop within a tolerance.
 
 Both are solved by exhaustive evaluation over the (small) candidate grid, which
-is exactly how the paper arrives at SZ2 + REL 1e-2.
+is exactly how the paper arrives at SZ2 + REL 1e-2.  The measurement machinery
+lives in :mod:`repro.core.profiling` — :func:`select_compressor` is a thin
+wrapper over a :class:`~repro.core.profiling.CodecProfiler` that keeps the
+historic grid-of-evaluations API, adds the *full* Eqn.-1 feasibility check
+(``t_C + t_D + S'/B < S/B``, not just ``t_C`` against the transfer time), and
+optionally scales host timings to an edge device via
+:class:`~repro.core.network.DeviceProfile`.
 """
 
 from __future__ import annotations
@@ -18,16 +24,20 @@ from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
-from repro.compressors.base import ErrorBoundMode, roundtrip
-from repro.compressors.registry import get_lossy
-from repro.core.network import communication_time
+from repro.compressors.base import ErrorBoundMode
+from repro.core.network import DeviceProfile, compression_is_worthwhile
+from repro.core.profiling import CodecProfiler, CostModel
 
 __all__ = ["CandidateEvaluation", "select_compressor", "select_error_bound"]
 
 
 @dataclass
 class CandidateEvaluation:
-    """Measured behaviour of one (compressor, error bound) candidate."""
+    """Measured behaviour of one (compressor, error bound) candidate.
+
+    Timings are host-measured (or cost-model-derived) seconds, scaled by the
+    :class:`DeviceProfile` when one was passed to :func:`select_compressor`.
+    """
 
     compressor: str
     error_bound: float
@@ -52,33 +62,51 @@ def select_compressor(data: np.ndarray, candidates: Sequence[str] = ("sz2", "sz3
                       error_bounds: Iterable[float] = (1e-2, 1e-3, 1e-4),
                       mode: ErrorBoundMode | str = ErrorBoundMode.REL,
                       bandwidth_mbps: float = 10.0, runtime_weight: float = 0.5,
+                      latency_s: float = 0.0,
+                      device: DeviceProfile | None = None,
+                      cost_model: "CostModel | str | None" = None,
+                      sample_limit: int | None = None,
                       ) -> tuple[CandidateEvaluation, list[CandidateEvaluation]]:
     """Solve Problem 1 on ``data`` by measuring every candidate.
 
     Returns the selected candidate (the best feasible scalarized score) and the
     full evaluation grid so callers can report the whole Table I-style
-    comparison.
+    comparison.  Feasibility is the paper's Eqn. (1) in full: compressing,
+    shipping the smaller payload, and decompressing must beat shipping the
+    original bytes over the same link, with the ratio in ``[1, S]``.
+
+    ``device`` scales the host-measured timings to an edge device (Table I's
+    Raspberry-Pi-class client) before the feasibility check; ``cost_model``
+    (``"analytic"`` or a :class:`~repro.core.profiling.CostModel`) replaces the
+    wall clock for deterministic selection; ``sample_limit`` profiles a seeded
+    contiguous sample instead of the whole array (``None``, the default,
+    measures everything — the historic behaviour).
     """
     data = np.asarray(data)
     if data.size == 0:
         raise ValueError("cannot select a compressor for empty data")
-    uncompressed_time = communication_time(data.nbytes, bandwidth_mbps)
+    profiler = CodecProfiler(candidates=candidates, error_bounds=error_bounds,
+                             mode=mode, sample_limit=sample_limit,
+                             cost_model=cost_model)
+    profile = profiler.profile_tensor("select", data)
     evaluations: list[CandidateEvaluation] = []
-    for name in candidates:
-        for bound in error_bounds:
-            compressor = get_lossy(name, error_bound=bound, mode=mode)
-            _, stats = roundtrip(compressor, data)
-            feasible = (stats.compress_seconds < uncompressed_time
-                        and 1.0 <= stats.ratio <= data.size)
-            evaluations.append(CandidateEvaluation(
-                compressor=name,
-                error_bound=float(bound),
-                ratio=stats.ratio,
-                compress_seconds=stats.compress_seconds,
-                decompress_seconds=stats.decompress_seconds,
-                max_abs_error=stats.max_abs_error,
-                feasible=feasible,
-            ))
+    for measurement in profile.measurements:
+        compress_s, decompress_s = profile.estimated_roundtrip_seconds(
+            measurement, device=device)
+        feasible = (compression_is_worthwhile(
+            compress_s, decompress_s, data.nbytes,
+            profile.estimated_compressed_bytes(measurement),
+            bandwidth_mbps, latency_s)
+            and 1.0 <= measurement.ratio <= data.size)
+        evaluations.append(CandidateEvaluation(
+            compressor=measurement.codec,
+            error_bound=measurement.error_bound,
+            ratio=measurement.ratio,
+            compress_seconds=compress_s,
+            decompress_seconds=decompress_s,
+            max_abs_error=measurement.max_abs_error,
+            feasible=feasible,
+        ))
     feasible_set = [e for e in evaluations if e.feasible]
     pool = feasible_set if feasible_set else evaluations
     best = max(pool, key=lambda e: _score(e, runtime_weight))

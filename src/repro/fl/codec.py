@@ -15,7 +15,9 @@ from collections import OrderedDict
 import numpy as np
 
 from repro.core.config import FedSZConfig
+from repro.core.network import NetworkModel
 from repro.core.pipeline import FedSZCompressor, FedSZReport
+from repro.core.plan import CompressionPolicy
 from repro.utils.serialization import pack_arrays, unpack_arrays
 
 __all__ = ["UpdateCodec", "RawUpdateCodec", "FedSZUpdateCodec"]
@@ -42,6 +44,16 @@ class UpdateCodec(abc.ABC):
         mutating shared state."""
         return self.encode(state), None
 
+    def for_network(self, network: NetworkModel) -> "UpdateCodec":
+        """Resolve this codec against one client's link.
+
+        Bandwidth-aware codecs (FedSZ under the ``profiled`` plan policy)
+        return a per-link variant so a heterogeneous fleet compresses each
+        update for *its own* uplink; everything else returns ``self``
+        unchanged.  The round engine calls this once per client.
+        """
+        return self
+
 
 class RawUpdateCodec(UpdateCodec):
     """Uncompressed baseline: packed float32 tensors, no reduction."""
@@ -56,13 +68,32 @@ class RawUpdateCodec(UpdateCodec):
 
 
 class FedSZUpdateCodec(UpdateCodec):
-    """FedSZ compression of client updates (the paper's scheme)."""
+    """FedSZ compression of client updates (the paper's scheme).
+
+    ``policy`` (an instance or registry name) overrides the plan policy the
+    config names — the hook :meth:`for_network` uses to hand each client of a
+    heterogeneous fleet a per-link variant of a bandwidth-aware policy.
+    """
 
     name = "fedsz"
 
-    def __init__(self, config: FedSZConfig | None = None) -> None:
+    def __init__(self, config: FedSZConfig | None = None,
+                 policy: "CompressionPolicy | str | None" = None) -> None:
         self.config = config or FedSZConfig()
-        self.compressor = FedSZCompressor(self.config)
+        self.compressor = FedSZCompressor(self.config, policy=policy)
+
+    def for_network(self, network: NetworkModel) -> "FedSZUpdateCodec":
+        """A codec whose plan policy is resolved against ``network``.
+
+        Returns ``self`` when the policy is link-agnostic (every policy except
+        ``profiled``); otherwise a new codec sharing this one's config and the
+        policy's profiler cache, so each distinct update is profiled once and
+        re-planned per link.
+        """
+        resolved = self.compressor.policy.for_network(network)
+        if resolved is self.compressor.policy:
+            return self
+        return FedSZUpdateCodec(self.config, policy=resolved)
 
     def encode(self, state: dict[str, np.ndarray]) -> bytes:
         return self.compressor.compress_state_dict(state)

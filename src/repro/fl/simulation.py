@@ -33,7 +33,12 @@ full-participation semantics, which the test suite pins bit-for-bit):
 * ``straggler_prob`` / ``straggler_slowdown`` — probability that a surviving
   client straggles, multiplying its reported training and transfer time.
 * ``networks`` — optional per-client heterogeneous links; defaults to the
-  shared ``network`` for every client.
+  shared ``network`` for every client.  Each client's codec is resolved
+  against its own link through :meth:`~repro.fl.codec.UpdateCodec.for_network`
+  — under the bandwidth-aware ``profiled`` plan policy a 5 Mbps straggler
+  ships aggressively-compressed updates while a 500 Mbps client ships
+  near-lossless ones, and ``RoundRecord.client_plans`` records each client's
+  per-tensor plan so the divergence is observable.
 * ``uplink`` — ``"serial"`` (shared uplink, round communication time is the
   sum over clients; the original semantics) or ``"parallel"`` (independent
   links, the round waits for the slowest client: the max).
@@ -51,6 +56,7 @@ import numpy as np
 
 from repro.core.network import UPLINK_MODES, NetworkModel, round_communication_time
 from repro.core.pipeline import FedSZReport
+from repro.core.plan import CompressionPlan
 from repro.data.datasets import Dataset
 from repro.data.partition import partition_dataset
 from repro.fl.client import ClientUpdate, FLClient
@@ -177,6 +183,10 @@ class RoundRecord:
     #: per-client compression statistics, keyed by client id (empty when the
     #: codec collects none, e.g. the uncompressed baseline)
     client_reports: dict[int, FedSZReport] = field(default_factory=dict)
+    #: per-client compression plans, keyed by client id (empty for codecs that
+    #: report none); under a bandwidth-aware policy on a heterogeneous fleet
+    #: these differ client to client — the per-link selection made visible
+    client_plans: dict[int, CompressionPlan] = field(default_factory=dict)
 
     @property
     def compression_ratio(self) -> float:
@@ -270,6 +280,11 @@ class FederatedSimulation:
         self.uplink = uplink
         self.client_networks = list(networks) if networks is not None \
             else [self.network] * n_clients
+        # one codec per client, resolved against that client's uplink: a no-op
+        # for link-agnostic codecs (for_network returns the shared instance),
+        # per-link plan policies for the bandwidth-aware ones
+        self.client_codecs = [self.codec.for_network(net)
+                              for net in self.client_networks]
         # seed=None means "give me a different run every time" — draw a fresh
         # scenario seed from entropy instead of silently pinning the
         # participant/dropout/straggler pattern to seed 0
@@ -338,7 +353,8 @@ class FederatedSimulation:
             max_workers=self.max_workers, backend=self.backend) if active else []
 
         tasks = [
-            _ShipTask(client_id=cid, state=update.state, codec=self.codec,
+            _ShipTask(client_id=cid, state=update.state,
+                      codec=self.client_codecs[cid],
                       network=self.client_networks[cid],
                       straggler_slowdown=self.straggler_slowdown
                       if cid in straggler_set else 1.0)
@@ -349,6 +365,8 @@ class FederatedSimulation:
         transfer_times = [result.transfer_seconds for result in shipped]
         client_reports = {result.client_id: result.report for result in shipped
                           if result.report is not None}
+        client_plans = {cid: report.plan for cid, report in client_reports.items()
+                        if report.plan is not None}
 
         train_times = [
             update.train_seconds * (self.straggler_slowdown if cid in straggler_set else 1.0)
@@ -381,6 +399,7 @@ class FederatedSimulation:
             dropped_clients=list(dropped),
             straggler_clients=list(stragglers),
             client_reports=client_reports,
+            client_plans=client_plans,
         )
 
     def run(self, n_rounds: int = 10) -> SimulationResult:

@@ -77,6 +77,18 @@ class TestParser:
         assert defaults.pipeline_workers == 1
         assert defaults.small_tensor_codec == "szx"
 
+    def test_profiled_policy_flags(self):
+        args = build_parser().parse_args(["compress", "--policy", "profiled",
+                                          "--bandwidth", "250"])
+        assert args.policy == "profiled"
+        assert args.bandwidth == pytest.approx(250.0)
+        assert build_parser().parse_args(["compress"]).bandwidth == pytest.approx(10.0)
+
+    def test_bandwidth_spread_flag(self):
+        args = build_parser().parse_args(["simulate", "--bandwidth-spread", "20"])
+        assert args.bandwidth_spread == pytest.approx(20.0)
+        assert build_parser().parse_args(["simulate"]).bandwidth_spread == 1.0
+
     def test_participation_accepts_counts_and_fractions(self):
         parse = build_parser().parse_args
         assert parse(["simulate", "--participation", "3"]).participation == 3
@@ -107,6 +119,22 @@ class TestCommands:
         out = capsys.readouterr().out
         assert exit_code == 0
         assert "mixed-codec policy" in out
+
+    def test_compress_with_profiled_policy(self, capsys):
+        # a fast link sends the profiled plan to the verbatim fallback tier
+        exit_code = main(["compress", "--model", "simplecnn", "--policy", "profiled",
+                          "--bandwidth", "100000"])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "profiled policy" in out
+        assert "verbatim" in out
+
+    def test_compress_profiled_on_slow_link_compresses(self, capsys):
+        exit_code = main(["compress", "--model", "simplecnn", "--policy", "profiled",
+                          "--bandwidth", "1"])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "verbatim" not in out
 
     @pytest.mark.parametrize("flags,fragment", [
         (["--policy", "round-robin"], "unknown plan policy"),
@@ -157,6 +185,16 @@ class TestCommands:
         out = capsys.readouterr().out
         assert exit_code == 0
         assert "final accuracy" in out
+
+    def test_simulate_profiled_heterogeneous_fleet(self, capsys):
+        exit_code = main(["simulate", "--model", "mlp", "--rounds", "1", "--clients", "3",
+                          "--samples", "120", "--image-size", "8",
+                          "--policy", "profiled", "--bandwidth", "50",
+                          "--bandwidth-spread", "200"])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "per-client plans (final round):" in out
+        assert "Mbps -> codecs" in out
 
     def test_select_command_output(self, capsys):
         exit_code = main(["select", "--model", "simplecnn", "--bounds", "1e-2"])

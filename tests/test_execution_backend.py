@@ -346,25 +346,20 @@ class TestRoundEngineEquivalence:
             FederatedSimulation(factory, train, test, n_clients=2, backend="mpi")
 
 
-class TestDeprecatedShim:
-    """Satellite: ``repro.fl.parallel`` warns on import but keeps working for
-    one release."""
+class TestRemovedShim:
+    """Satellite: the deprecated ``repro.fl.parallel`` shim is gone; the real
+    homes (``repro.utils.parallel`` / ``repro.fl.simulation``) remain the
+    package re-exports."""
 
-    def test_import_warns_and_reexports(self):
+    def test_shim_module_is_removed(self):
         sys.modules.pop("repro.fl.parallel", None)
-        with pytest.warns(DeprecationWarning, match="repro.fl.parallel is deprecated"):
-            module = importlib.import_module("repro.fl.parallel")
-        from repro.fl.simulation import train_clients_parallel
-        from repro.utils.parallel import map_parallel as real_map
-        assert module.map_parallel is real_map
-        assert module.train_clients_parallel is train_clients_parallel
-        assert module.resolve_worker_count is resolve_worker_count
+        with pytest.raises(ModuleNotFoundError):
+            importlib.import_module("repro.fl.parallel")
 
-    def test_package_reexports_do_not_warn(self):
-        import warnings
-
+    def test_package_reexports_survive_the_removal(self):
         import repro.fl
-        with warnings.catch_warnings():
-            warnings.simplefilter("error", DeprecationWarning)
-            assert repro.fl.map_parallel is map_parallel
-            assert repro.fl.resolve_worker_count is resolve_worker_count
+        from repro.fl.simulation import train_clients_parallel
+
+        assert repro.fl.map_parallel is map_parallel
+        assert repro.fl.resolve_worker_count is resolve_worker_count
+        assert repro.fl.train_clients_parallel is train_clients_parallel
