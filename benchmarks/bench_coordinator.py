@@ -1,0 +1,256 @@
+"""Coordinator services: tree aggregation, overlapped uplinks, durable rounds.
+
+Three drills over an 8-client FedAvg run on a simulated 2 Mbps uplink:
+
+* **flat vs tree** — aggregate each round through :class:`TreeAggregator` at
+  several fan-ins and through the flat reference; the outputs must be
+  bit-identical (the double-double partial-sum kernel makes FedAvg grouping
+  insensitive), and the per-round aggregation wall time is reported.
+* **pool vs async** — ship the same round's updates over the execution-backend
+  pool and over the asyncio overlapped-uplink path (``overlap="async"``, where
+  simulated delays become awaits); results must match bit-for-bit and the
+  async round should approach ``max`` rather than ``sum`` of the delays.
+* **kill-and-resume** (``--kill-resume``) — launch a journaled run in a child
+  process that hard-exits mid-round (``REPRO_JOURNAL_CRASH_AFTER``), resume it
+  from the journal, and require the combined result to match an uninterrupted
+  reference on every deterministic field plus the final global state.
+
+Two entry points:
+
+* ``PYTHONPATH=src python -m pytest benchmarks/bench_coordinator.py -o
+  python_files="bench_*.py" -o python_functions="bench_*"`` — pytest-benchmark
+  harness (thread backend, persists results),
+* ``PYTHONPATH=src python benchmarks/bench_coordinator.py [--backend process]
+  [--smoke] [--kill-resume]`` — direct CLI; ``--smoke`` is the
+  correctness-only CI drill without timing assertions.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from bench_utils import fl_settings, quick_fl_data, save_results
+from repro.core import NetworkModel
+from repro.fl import FederatedSimulation, RawUpdateCodec, TreeAggregator, fedavg_aggregate
+from repro.metrics import ExperimentRecord, Table
+from repro.nn import build_model
+
+N_CLIENTS = 8
+ROUNDS = 2
+BANDWIDTH_MBPS = 2.0
+FAN_INS = (2, 3, 4)
+SEED = 13
+
+
+def _build_simulation(train, test, cfg, backend: str = "thread", **kwargs):
+    def factory():
+        return build_model(cfg["model"], num_classes=10, in_channels=3,
+                           image_size=cfg["image_size"], seed=0)
+
+    network = NetworkModel(bandwidth_mbps=BANDWIDTH_MBPS, simulate_delay=True)
+    return FederatedSimulation(factory, train, test, n_clients=N_CLIENTS,
+                               codec=RawUpdateCodec(), network=network,
+                               batch_size=cfg["batch_size"], lr=cfg["lr"],
+                               seed=SEED, uplink="parallel", backend=backend,
+                               **kwargs)
+
+
+def _deterministic_fields(result):
+    """Everything a SimulationResult must reproduce bit-for-bit."""
+    return [(r.accuracy, r.uncompressed_bytes, r.transmitted_bytes,
+             r.communication_seconds, tuple(r.client_losses),
+             tuple(r.participants), tuple(r.dropped_clients),
+             tuple(r.straggler_clients), tuple(r.late_clients),
+             tuple(sorted(r.absorbed_clients.items())))
+            for r in result.rounds]
+
+
+# ---------------------------------------------------------------------------
+def _run_tree_drill(train, test, cfg, backend: str):
+    """Flat vs tree aggregation: per-round wall and bit-identity."""
+    # one training round's states/weights, reused for every aggregation timing
+    sim = _build_simulation(train, test, cfg, backend=backend)
+    global_state = sim.server.global_state()
+    rng = np.random.default_rng(SEED)
+    states = []
+    for _ in range(N_CLIENTS):
+        jitter = {k: np.asarray(v) + rng.normal(0, 0.01, np.shape(v)).astype(
+            np.asarray(v).dtype) if np.asarray(v).dtype.kind == "f" else np.asarray(v)
+            for k, v in global_state.items()}
+        states.append(jitter)
+    weights = list(rng.integers(16, 64, size=N_CLIENTS))
+
+    start = time.perf_counter()
+    flat = fedavg_aggregate(states, weights)
+    flat_wall = time.perf_counter() - start
+
+    rows = [("flat", flat_wall, True)]
+    for fan_in in FAN_INS:
+        tree_agg = TreeAggregator(fan_in=fan_in)
+        start = time.perf_counter()
+        tree = tree_agg.aggregate(states, weights)
+        wall = time.perf_counter() - start
+        identical = all(np.array_equal(flat[k], tree[k])
+                        and flat[k].dtype == tree[k].dtype for k in flat)
+        rows.append((f"tree fan-in {fan_in}", wall, identical))
+        assert identical, f"tree fan-in {fan_in} diverged from flat aggregation"
+
+    # end-to-end: a tree-aggregated run matches the flat run on every field
+    flat_run = _build_simulation(train, test, cfg, backend=backend).run(ROUNDS)
+    tree_run = _build_simulation(train, test, cfg, backend=backend,
+                                 tree_fanout=FAN_INS[0]).run(ROUNDS)
+    assert _deterministic_fields(tree_run) == _deterministic_fields(flat_run), \
+        "tree-aggregated run diverged from the flat run"
+    return rows
+
+
+def _run_overlap_drill(train, test, cfg, backend: str):
+    """Pool vs asyncio-overlapped uplinks: wall clock and bit-identity."""
+    walls, results = {}, {}
+    for overlap, workers in (("pool", 1), ("async", 1)):
+        sim = _build_simulation(train, test, cfg, backend=backend,
+                                max_workers=workers, overlap=overlap)
+        start = time.perf_counter()
+        results[overlap] = sim.run(ROUNDS)
+        walls[overlap] = time.perf_counter() - start
+    assert _deterministic_fields(results["async"]) == \
+        _deterministic_fields(results["pool"]), \
+        "async overlapped uplinks diverged from the pool path"
+    return walls, results
+
+
+def _run_kill_resume_drill(backend: str) -> dict:
+    """Kill a journaled child mid-round, resume, compare to uninterrupted."""
+    with tempfile.TemporaryDirectory(prefix="fedsz-journal-") as journal_dir:
+        child_env = dict(os.environ)
+        child_env["PYTHONPATH"] = os.pathsep.join(
+            [str(Path(__file__).resolve().parent.parent / "src"),
+             child_env.get("PYTHONPATH", "")]).rstrip(os.pathsep)
+        # die after the 7th journal event: run header + round 0 (round_start,
+        # 8 ships, round_complete) would be 11 events, so event 7 lands in the
+        # middle of round 0's client ships — a genuine mid-round crash
+        child_env["REPRO_JOURNAL_CRASH_AFTER"] = "7"
+        child = subprocess.run(
+            [sys.executable, __file__, "--_child", "--backend", backend,
+             "--journal-dir", journal_dir],
+            env=child_env, capture_output=True, text=True)
+        if child.returncode != 42:
+            raise AssertionError(
+                f"crash child expected to hard-exit 42, got {child.returncode}:\n"
+                f"{child.stderr[-2000:]}")
+
+        cfg = fl_settings()
+        train, test = quick_fl_data("cifar10", seed=47)
+        reference_sim = _build_simulation(train, test, cfg, backend=backend)
+        reference = reference_sim.run(ROUNDS)
+        resumed_sim = _build_simulation(train, test, cfg, backend=backend,
+                                        journal_dir=journal_dir, resume=True)
+        resumed = resumed_sim.run(ROUNDS)
+
+        assert _deterministic_fields(resumed) == _deterministic_fields(reference), \
+            "resumed run diverged from the uninterrupted reference"
+        ref_state = reference_sim.server.global_state()
+        res_state = resumed_sim.server.global_state()
+        assert all(np.array_equal(ref_state[k], res_state[k]) for k in ref_state), \
+            "resumed final global state is not bit-identical"
+        return {"crash_exit": child.returncode,
+                "rounds": len(resumed.rounds),
+                "final_accuracy": resumed.final_accuracy}
+
+
+def _child_main(backend: str, journal_dir: str) -> int:
+    """Child half of the kill-resume drill: run journaled until the crash hook."""
+    cfg = fl_settings()
+    train, test = quick_fl_data("cifar10", seed=47)
+    sim = _build_simulation(train, test, cfg, backend=backend,
+                            journal_dir=journal_dir)
+    sim.run(ROUNDS)  # REPRO_JOURNAL_CRASH_AFTER hard-exits before completion
+    return 0  # reached only if the crash hook never fired
+
+
+# ---------------------------------------------------------------------------
+def _check_and_report(backend: str, persist: bool, assert_speedup: bool,
+                      kill_resume: bool) -> int:
+    cfg = fl_settings()
+    train, test = quick_fl_data("cifar10", seed=47)
+
+    tree_rows = _run_tree_drill(train, test, cfg, backend)
+    walls, results = _run_overlap_drill(train, test, cfg, backend)
+
+    table = Table(f"Coordinator services ({backend} backend) - {N_CLIENTS} "
+                  f"clients, {ROUNDS} rounds, {BANDWIDTH_MBPS:g} Mbps simulated uplink",
+                  ["drill", "wall (s)", "bit-identical"])
+    record = ExperimentRecord("coordinator",
+                              "tree aggregation + overlapped uplinks + durable rounds")
+    record.add(backend=backend, host_cores=os.cpu_count() or 1)
+    for label, wall, identical in tree_rows:
+        table.add_row(f"aggregate {label}", f"{wall * 1e3:.2f}ms", str(identical))
+        record.add(drill=f"aggregate-{label}", wall_seconds=wall)
+    for overlap in ("pool", "async"):
+        table.add_row(f"uplinks {overlap}", f"{walls[overlap]:.2f}",
+                      str(overlap == "pool" or
+                          _deterministic_fields(results["async"]) ==
+                          _deterministic_fields(results["pool"])))
+        record.add(drill=f"uplinks-{overlap}", wall_seconds=walls[overlap],
+                   final_accuracy=results[overlap].final_accuracy)
+    if kill_resume:
+        resume_stats = _run_kill_resume_drill(backend)
+        table.add_row("kill-and-resume", "-", "True")
+        record.add(drill="kill-and-resume", **resume_stats)
+
+    if persist:
+        save_results("coordinator", table, record)
+    else:
+        print()
+        print(table.render())
+
+    # with a 1-worker pool the simulated delays sleep serially, so the async
+    # path (delays overlap on the event loop) must finish measurably sooner;
+    # skipped on shared CI runners where wall-clock comparisons are flaky
+    if assert_speedup and not os.environ.get("CI"):
+        assert walls["async"] < walls["pool"], \
+            f"async {walls['async']:.2f}s not faster than pool {walls['pool']:.2f}s"
+    return 0
+
+
+def bench_coordinator(benchmark):
+    """pytest-benchmark harness (historic entry point; thread backend)."""
+    benchmark.pedantic(
+        lambda: _check_and_report("thread", persist=True, assert_speedup=True,
+                                  kill_resume=False),
+        rounds=1, iterations=1)
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--backend", default="thread",
+                        choices=("serial", "thread", "process"),
+                        help="execution backend for pooled stages")
+    parser.add_argument("--smoke", action="store_true",
+                        help="correctness-only drill: no timing assertion, "
+                             "results are not persisted (CI mode)")
+    parser.add_argument("--kill-resume", action="store_true",
+                        help="also run the crash-mid-round + journal-resume drill")
+    parser.add_argument("--_child", action="store_true", help=argparse.SUPPRESS)
+    parser.add_argument("--journal-dir", default=None, help=argparse.SUPPRESS)
+    args = parser.parse_args(argv)
+
+    if args._child:
+        return _child_main(args.backend, args.journal_dir)
+    return _check_and_report(args.backend, persist=not args.smoke,
+                             assert_speedup=not args.smoke,
+                             kill_resume=args.kill_resume)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

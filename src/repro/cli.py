@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import Sequence
 
 import numpy as np
@@ -164,6 +165,17 @@ def build_parser() -> argparse.ArgumentParser:
                           help="per-round probability that a client straggles (4x slowdown)")
     simulate.add_argument("--dropout", type=float, default=0.0,
                           help="per-round probability that a sampled client drops out")
+    simulate.add_argument("--tree-fanout", type=int, default=0,
+                          help="aggregate through a tree of this fan-in instead "
+                               "of flat FedAvg (0 = flat; >= 2 = tree, "
+                               "bit-identical result)")
+    simulate.add_argument("--journal-dir", default=None,
+                          help="make rounds durable: journal every round to this "
+                               "directory (per-codec subdirectories) so an "
+                               "interrupted run can be resumed with --resume")
+    simulate.add_argument("--resume", action="store_true",
+                          help="resume an interrupted run from --journal-dir "
+                               "instead of starting fresh")
     _add_entropy_arguments(simulate)
     _add_plan_arguments(simulate)
     _add_backend_argument(simulate)
@@ -230,19 +242,28 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     except ValueError as exc:
         print(f"repro simulate: error: {exc}", file=sys.stderr)
         return 2
+    if args.resume and args.journal_dir is None:
+        print("repro simulate: error: --resume requires --journal-dir", file=sys.stderr)
+        return 2
     results = {}
     last_sims = {}
     for label, codec in codecs.items():
+        # the command runs one simulation per codec, so each gets its own
+        # journal subdirectory — both halves resume independently
+        journal_dir = str(Path(args.journal_dir) / label) \
+            if args.journal_dir is not None else None
         try:
             sim = FederatedSimulation(factory, train, test, n_clients=args.clients, codec=codec,
                                       network=network, networks=networks, lr=0.15,
                                       seed=args.seed + 2,
                                       max_workers=args.workers, participation=args.participation,
                                       dropout_prob=args.dropout, straggler_prob=args.straggler,
-                                      backend=args.backend)
+                                      backend=args.backend, tree_fanout=args.tree_fanout,
+                                      journal_dir=journal_dir, resume=args.resume)
         except ValueError as exc:
             # round-engine ranges that need cross-flag context (--participation
-            # count vs --clients, --workers >= 1, probability ranges)
+            # count vs --clients, --workers >= 1, probability ranges) plus
+            # journal mismatches (wrong codec/seed/fleet for --resume)
             print(f"repro simulate: error: {exc}", file=sys.stderr)
             return 2
         results[label] = sim.run(args.rounds)

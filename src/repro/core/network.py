@@ -84,10 +84,13 @@ def crossover_bandwidth(compress_s: float, decompress_s: float, original_bytes: 
     """
     saved_bytes = original_bytes - compressed_bytes
     overhead = compress_s + decompress_s
-    if overhead <= 0:
-        return float("inf")
+    # the no-savings check must come first: with zero overhead AND zero
+    # savings, compression never helps at any bandwidth, so the crossover is
+    # 0.0, not inf (inf would claim "always worthwhile" for a useless codec)
     if saved_bytes <= 0:
         return 0.0
+    if overhead <= 0:
+        return float("inf")
     return (saved_bytes * 8.0) / (overhead * 1e6)
 
 

@@ -9,6 +9,19 @@ decodes, aggregates, and evaluates the global model each round.
 
 from repro.fl.client import ClientUpdate, FLClient
 from repro.fl.codec import FedSZUpdateCodec, RawUpdateCodec, UpdateCodec
+from repro.fl.coordinator import (
+    Aggregator,
+    Coordinator,
+    FlatAggregator,
+    PartialAggregate,
+    RoundJournal,
+    RoundPlan,
+    RoundScheduler,
+    SimulatedTransport,
+    StalenessPolicy,
+    Transport,
+    TreeAggregator,
+)
 from repro.fl.scaling import (
     ScalingResult,
     scaling_speedups,
@@ -43,4 +56,15 @@ __all__ = [
     "scaling_speedups",
     "simulate_weak_scaling",
     "simulate_strong_scaling",
+    "Coordinator",
+    "RoundScheduler",
+    "RoundPlan",
+    "StalenessPolicy",
+    "Aggregator",
+    "FlatAggregator",
+    "TreeAggregator",
+    "PartialAggregate",
+    "RoundJournal",
+    "Transport",
+    "SimulatedTransport",
 ]

@@ -64,14 +64,27 @@ class FLClient:
         """Load the server's global model into the local replica."""
         self.model.load_state_dict(state)
 
-    def train_local(self, epochs: int = 1) -> ClientUpdate:
+    def _loader_seed(self, round_index: int) -> int:
+        """Batch-shuffle seed for one round of local training.
+
+        Round 0 reproduces the historic order (``self.seed`` verbatim); later
+        rounds mix the round index in through a splitmix-style odd constant so
+        every round sees a fresh permutation instead of replaying the same
+        batch order against an updated model.  Purely a function of
+        ``(seed, round_index)``, so resumed runs retrain identically.
+        """
+        if round_index == 0:
+            return self.seed
+        return (self.seed + round_index * 0x9E3779B97F4A7C15) % (2 ** 63)
+
+    def train_local(self, epochs: int = 1, round_index: int = 0) -> ClientUpdate:
         """Run ``epochs`` of local SGD and return the updated state dict."""
         start = time.perf_counter()
         self.model.train(True)
         optimizer = SGD(self.model.parameters(), lr=self.lr, momentum=self.momentum,
                         weight_decay=self.weight_decay)
         loader = BatchLoader(self.dataset, batch_size=self.batch_size, shuffle=True,
-                             seed=self.seed)
+                             seed=self._loader_seed(round_index))
         last_loss = float("nan")
         for _ in range(epochs):
             for images, labels in loader:
@@ -90,13 +103,19 @@ class FLClient:
         )
 
     def evaluate(self, dataset: Dataset | None = None, batch_size: int = 128) -> float:
-        """Top-1 accuracy of the local model on ``dataset`` (default: own shard)."""
+        """Top-1 accuracy of the local model on ``dataset`` (default: own shard).
+
+        The model's training/evaluation mode is restored to whatever it was on
+        entry — evaluating a model that was already in eval mode no longer
+        flips it back to training mode on the way out.
+        """
         dataset = dataset or self.dataset
+        was_training = self.model.training
         self.model.train(False)
         correct = 0
         loader = BatchLoader(dataset, batch_size=batch_size, shuffle=False)
         for images, labels in loader:
             predictions = self.model(images).argmax(axis=1)
             correct += int((predictions == labels).sum())
-        self.model.train(True)
+        self.model.train(was_training)
         return correct / max(len(dataset), 1)

@@ -1,0 +1,373 @@
+"""The round coordinator: scheduler + transport + aggregator + journal.
+
+:class:`Coordinator` is the service-layer replacement for the monolithic round
+loop that used to live inside ``FederatedSimulation.run_round``.  It composes
+
+* a :class:`~repro.fl.coordinator.scheduler.RoundScheduler` (seeded scenario
+  draws),
+* a :class:`~repro.fl.coordinator.transport.Transport` (encode → transfer →
+  decode, pooled or asyncio-overlapped),
+* a :class:`~repro.fl.server.FedAvgServer` whose aggregation routes through an
+  :class:`~repro.fl.coordinator.aggregator.Aggregator` (flat or tree),
+* an optional :class:`~repro.fl.coordinator.journal.RoundJournal` for durable,
+  resumable rounds, and
+* a :class:`~repro.fl.coordinator.scheduler.StalenessPolicy` deciding the fate
+  of updates that miss the round deadline.
+
+Determinism contract: every quantity that decides *numerics* (scenario draws,
+batch order, transfer-time lateness, aggregation order) is a pure function of
+the scenario seed and the round index — never of wall clock, worker count, or
+overlap mode.  Wall-clock measurements (train/encode/decode seconds) ride
+along as data.  That is what makes a journal resume bit-identical on every
+deterministic field: completed rounds replay from their records, the
+interrupted round re-derives its plan, replays already-shipped payloads
+(decode is deterministic), and re-trains only the clients that never shipped
+(training is a pure function of global state, shard, seed, and round index).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.network import round_communication_time
+from repro.fl.client import ClientUpdate, FLClient
+from repro.fl.coordinator.journal import JournalState, RoundJournal, ShippedEvent
+from repro.fl.coordinator.records import RoundRecord, SimulationResult
+from repro.fl.coordinator.scheduler import RoundScheduler, StalenessPolicy
+from repro.fl.coordinator.transport import ShipResult, ShipTask, Transport
+from repro.utils.parallel import ExecutionBackend, get_backend
+
+# NOTE: fl/server.py imports the aggregation kernel from this package, so this
+# module must not import fl.server back at runtime — the server below is typed
+# by its duck interface (global_state / aggregate / evaluate / model).
+
+__all__ = ["Coordinator", "train_clients_parallel", "OVERLAP_MODES"]
+
+#: how a round's uplinks share time: "pool" fans ship tasks over the execution
+#: backend (the historic path); "async" holds every uplink in flight on one
+#: event loop, simulated delays becoming awaits
+OVERLAP_MODES = ("pool", "async")
+
+
+def _train_client_task(task: "tuple[FLClient, dict, int, int]") -> ClientUpdate:
+    """Broadcast-and-train one client: ``(client, global_state, epochs, round)``.
+
+    Module-level and picklable for the process backend.  The broadcast happens
+    inside the task (clients are independent, so receive-then-train per client
+    is bit-identical to a global broadcast followed by training), and the
+    updated state travels back in the returned :class:`ClientUpdate` — the
+    caller re-absorbs it into its own replica when the backend does not share
+    memory.  A historic three-element task (no round index) trains as round 0.
+    """
+    client, global_state, epochs, round_index = task if len(task) == 4 else (*task, 0)
+    client.receive_global(global_state)
+    return client.train_local(epochs=epochs, round_index=round_index)
+
+
+def train_clients_parallel(clients: Sequence[FLClient], global_state: dict,
+                           epochs: int = 1, max_workers: "int | None" = None,
+                           backend: "str | ExecutionBackend" = "thread",
+                           round_index: int = 0) -> "list[ClientUpdate]":
+    """Broadcast ``global_state`` to every client and train them concurrently.
+
+    Returns the per-client :class:`ClientUpdate` objects in client order, ready
+    for FedAvg aggregation.  Each client owns a private model replica (and
+    ``receive_global`` copies the broadcast arrays), so no state is shared
+    between training workers; on a process backend the trained state is loaded
+    back into the caller's replicas so every backend leaves the clients in the
+    same state.  ``round_index`` is mixed into each client's batch-shuffle seed
+    so successive rounds see fresh batch orders (round 0 reproduces the
+    historic order).
+    """
+    exec_backend = get_backend(backend)
+    updates = exec_backend.map(
+        _train_client_task,
+        [(client, global_state, epochs, round_index) for client in clients],
+        workers=max_workers)
+    if not exec_backend.shared_memory:
+        for client, update in zip(clients, updates):
+            client.receive_global(update.state)
+    return updates
+
+
+@dataclass
+class _Shipment:
+    """One client's completed ship this round plus its training measurements."""
+
+    result: ShipResult
+    train_seconds: float  # raw (un-inflated) — stragglers are scaled at record time
+    train_loss: float
+    num_samples: int
+    late: bool = False
+    replayed: bool = False
+
+
+@dataclass
+class _LateUpdate:
+    """A decoded late update queued for the staleness policy."""
+
+    origin_round: int
+    client_id: int
+    state: "dict[str, np.ndarray]"
+    num_samples: int
+
+
+class Coordinator:
+    """Runs federated rounds by composing the coordinator services.
+
+    Construction wires the services together; :meth:`run_round` executes one
+    round (training → transport → staleness triage → aggregation → validation
+    → journal), and :meth:`run` produces a :class:`SimulationResult`, replaying
+    journaled rounds first when resuming.
+    """
+
+    def __init__(self, *, clients: Sequence[FLClient], server,
+                 scheduler: RoundScheduler, transport: Transport,
+                 client_codecs: Sequence, client_networks: Sequence,
+                 codec_name: str, local_epochs: int = 1,
+                 straggler_slowdown: float = 4.0, uplink: str = "serial",
+                 backend: "str | ExecutionBackend" = "thread",
+                 max_workers: "int | None" = 1, overlap: str = "pool",
+                 round_deadline_s: "float | None" = None,
+                 staleness: "StalenessPolicy | None" = None,
+                 journal: "RoundJournal | None" = None,
+                 journal_state: "JournalState | None" = None) -> None:
+        if overlap not in OVERLAP_MODES:
+            raise ValueError(f"overlap must be one of {OVERLAP_MODES}, got {overlap!r}")
+        if round_deadline_s is not None and round_deadline_s <= 0:
+            raise ValueError("round_deadline_s must be positive")
+        self.clients = list(clients)
+        self.server = server
+        self.scheduler = scheduler
+        self.transport = transport
+        self.client_codecs = list(client_codecs)
+        self.client_networks = list(client_networks)
+        self.codec_name = codec_name
+        self.local_epochs = int(local_epochs)
+        self.straggler_slowdown = float(straggler_slowdown)
+        self.uplink = uplink
+        self.backend = get_backend(backend)
+        self.max_workers = max_workers
+        self.overlap = overlap
+        self.round_deadline_s = round_deadline_s
+        self.staleness = staleness if staleness is not None else StalenessPolicy()
+        self.journal = journal
+
+        self._run_started = False
+        self._completed: "list[RoundRecord]" = []
+        self._partial = None
+        self._pending_late: "list[_LateUpdate]" = []
+        if journal_state is not None:
+            if journal is None:
+                raise ValueError("journal_state requires a journal to replay from")
+            self._restore(journal_state)
+
+    # -- resume ------------------------------------------------------------
+    def _restore(self, state: JournalState) -> None:
+        """Adopt a journal's replayed state: records, snapshot, late queue."""
+        if state.codec_name != self.codec_name:
+            raise ValueError(f"journal was written by codec {state.codec_name!r}, "
+                             f"this run uses {self.codec_name!r}")
+        if state.n_clients != len(self.clients):
+            raise ValueError(f"journal expects {state.n_clients} clients, "
+                             f"this run has {len(self.clients)}")
+        if state.scenario_seed != self.scheduler.seed:
+            raise ValueError(f"journal scenario seed {state.scenario_seed} does not "
+                             f"match this run's seed {self.scheduler.seed}")
+        self._completed = list(state.records)
+        self._partial = state.partial
+        self._pending_late = [self._late_from_event(event)
+                              for event in state.pending_late]
+        if state.snapshot_path is not None:
+            snapshot = self.journal.load_snapshot(state.snapshot_path)
+            self.server.model.load_state_dict(snapshot)
+        self._run_started = True  # the journaled header already exists
+
+    def _late_from_event(self, event: ShippedEvent) -> _LateUpdate:
+        payload = self.journal.read_payload(event)
+        state = self.client_codecs[event.client_id].decode(payload)
+        return _LateUpdate(origin_round=event.round_index,
+                           client_id=event.client_id, state=state,
+                           num_samples=event.num_samples)
+
+    def _materialize(self, event: ShippedEvent) -> _Shipment:
+        """Rebuild a shipped update from the journal instead of re-running it."""
+        payload = self.journal.read_payload(event)
+        state = self.client_codecs[event.client_id].decode(payload)
+        result = ShipResult(client_id=event.client_id,
+                            payload_bytes=event.payload_bytes,
+                            raw_bytes=event.raw_bytes,
+                            encode_seconds=event.encode_seconds,
+                            transfer_seconds=event.transfer_seconds,
+                            decode_seconds=event.decode_seconds,
+                            state=state, report=event.rebuild_report())
+        return _Shipment(result=result, train_seconds=event.train_seconds,
+                         train_loss=event.train_loss,
+                         num_samples=event.num_samples,
+                         late=event.status == "late", replayed=True)
+
+    # -- execution ---------------------------------------------------------
+    def _ensure_run_started(self) -> None:
+        if self.journal is not None and not self._run_started:
+            self.journal.begin_run(self.codec_name, self.scheduler.seed,
+                                   len(self.clients), self.server.global_state())
+            self._run_started = True
+
+    def _ship(self, tasks: "list[ShipTask]") -> "list[ShipResult]":
+        """Ship a round's updates through the configured overlap mode."""
+        if not tasks:
+            return []
+        if self.overlap == "async":
+            async def _all_uplinks():
+                return await asyncio.gather(
+                    *(self.transport.ship_async(task) for task in tasks))
+            return list(asyncio.run(_all_uplinks()))
+        return self.transport.ship_batch(tasks)
+
+    def run_round(self, round_index: int) -> RoundRecord:
+        """Execute one communication round and return its measurements."""
+        self._ensure_run_started()
+        global_state = self.server.global_state()
+        plan = self.scheduler.plan_round(round_index)
+
+        # when resuming into a partially-journaled round, replay what shipped
+        replayed: "dict[int, ShippedEvent]" = {}
+        resumed = False
+        if self._partial is not None and self._partial.plan.round_index == round_index:
+            if self._partial.plan != plan:
+                raise ValueError(f"journaled plan for round {round_index} does not "
+                                 f"match the scheduler's draw — seed or scenario "
+                                 f"knobs changed between runs")
+            replayed = self._partial.shipped
+            self._partial = None
+            resumed = True
+        if self.journal is not None:
+            self.journal.begin_round(plan, resumed=resumed)
+
+        straggler_set = set(plan.stragglers)
+        fresh_ids = [cid for cid in plan.participants if cid not in replayed]
+        active = [self.clients[cid] for cid in fresh_ids]
+        updates = train_clients_parallel(
+            active, global_state, epochs=self.local_epochs,
+            max_workers=self.max_workers, backend=self.backend,
+            round_index=round_index) if active else []
+
+        keep_payload = self.journal is not None
+        tasks = [
+            ShipTask(client_id=cid, state=update.state,
+                     codec=self.client_codecs[cid],
+                     network=self.client_networks[cid],
+                     straggler_slowdown=self.straggler_slowdown
+                     if cid in straggler_set else 1.0,
+                     keep_payload=keep_payload)
+            for cid, update in zip(fresh_ids, updates)
+        ]
+        results = self._ship(tasks)
+
+        shipments: "dict[int, _Shipment]" = {}
+        for cid, update, result in zip(fresh_ids, updates, results):
+            shipment = _Shipment(result=result, train_seconds=update.train_seconds,
+                                 train_loss=update.train_loss,
+                                 num_samples=update.num_samples)
+            # lateness is decided on the *modeled* transfer time, which is
+            # analytic and straggler-inflated — never on wall clock
+            shipment.late = (self.round_deadline_s is not None
+                             and result.transfer_seconds > self.round_deadline_s)
+            shipments[cid] = shipment
+        for cid, event in replayed.items():
+            shipments[cid] = self._materialize(event)
+
+        if self.journal is not None:
+            for cid in plan.participants:
+                shipment = shipments[cid]
+                if shipment.replayed:
+                    continue  # already journaled by the interrupted run
+                self.journal.record_shipped(
+                    round_index, shipment.result, shipment.train_seconds,
+                    shipment.train_loss, shipment.num_samples,
+                    status="late" if shipment.late else "ontime")
+
+        # staleness triage: previously-queued late updates are absorbed at the
+        # first admissible round and dropped once they expire
+        admitted = [late for late in self._pending_late
+                    if self.staleness.admits(late.origin_round, round_index)]
+        admitted.sort(key=lambda late: (late.origin_round, late.client_id))
+        self._pending_late = [late for late in self._pending_late
+                              if not self.staleness.admits(late.origin_round, round_index)
+                              and not self.staleness.expired(late.origin_round, round_index)]
+
+        ontime = [cid for cid in plan.participants if not shipments[cid].late]
+        late_ids = [cid for cid in plan.participants if shipments[cid].late]
+        states = [shipments[cid].result.state for cid in ontime] \
+            + [late.state for late in admitted]
+        weights = [shipments[cid].num_samples for cid in ontime] \
+            + [late.num_samples for late in admitted]
+        self.server.aggregate(states, weights, allow_empty=True)
+
+        start = time.perf_counter()
+        accuracy = self.server.evaluate()
+        validation_seconds = time.perf_counter() - start
+
+        # this round's late updates join the queue for the next round's triage
+        for cid in late_ids:
+            shipment = shipments[cid]
+            self._pending_late.append(_LateUpdate(
+                origin_round=round_index, client_id=cid,
+                state=shipment.result.state, num_samples=shipment.num_samples))
+
+        ordered = [shipments[cid] for cid in plan.participants]
+        train_times = [
+            shipment.train_seconds
+            * (self.straggler_slowdown if cid in straggler_set else 1.0)
+            for cid, shipment in zip(plan.participants, ordered)
+        ]
+        client_reports = {cid: shipments[cid].result.report
+                          for cid in plan.participants
+                          if shipments[cid].result.report is not None}
+        client_plans = {cid: report.plan for cid, report in client_reports.items()
+                        if report.plan is not None}
+
+        def _mean(values: "list[float]") -> float:
+            return float(np.mean(values)) if values else 0.0
+
+        record = RoundRecord(
+            round_index=round_index,
+            accuracy=accuracy,
+            mean_train_seconds=_mean(train_times),
+            mean_encode_seconds=_mean([s.result.encode_seconds for s in ordered]),
+            mean_decode_seconds=_mean([s.result.decode_seconds for s in ordered]),
+            validation_seconds=validation_seconds,
+            uncompressed_bytes=sum(s.result.raw_bytes for s in ordered),
+            transmitted_bytes=sum(s.result.payload_bytes for s in ordered),
+            communication_seconds=round_communication_time(
+                [s.result.transfer_seconds for s in ordered], self.uplink),
+            client_losses=[s.train_loss for s in ordered],
+            participants=list(ontime),
+            dropped_clients=list(plan.dropped),
+            straggler_clients=list(plan.stragglers),
+            client_reports=client_reports,
+            client_plans=client_plans,
+            late_clients=list(late_ids),
+            absorbed_clients={late.client_id: late.origin_round
+                              for late in admitted},
+        )
+        if self.journal is not None:
+            self.journal.complete_round(record, self.server.global_state())
+        return record
+
+    def run(self, n_rounds: int = 10) -> SimulationResult:
+        """Run (or resume) ``n_rounds`` rounds and collect the records.
+
+        Rounds already completed in the journal replay as-is; the interrupted
+        round (if any) resumes from its journaled ships; the rest run live.
+        """
+        result = SimulationResult(codec_name=self.codec_name)
+        result.rounds.extend(self._completed[:n_rounds])
+        for round_index in range(len(result.rounds), n_rounds):
+            result.rounds.append(self.run_round(round_index))
+        return result

@@ -9,6 +9,7 @@ import numpy as np
 
 from repro.data.datasets import Dataset
 from repro.data.loader import BatchLoader
+from repro.fl.coordinator.aggregator import Aggregator, weighted_mean_states
 from repro.nn.module import Module
 
 __all__ = ["fedavg_aggregate", "evaluate_model", "FedAvgServer"]
@@ -23,29 +24,15 @@ def fedavg_aggregate(states: Sequence[dict[str, np.ndarray]],
     the standard usage.  With partial participation the average runs over
     whatever subset of clients reported in (an *empty* round is handled by
     :meth:`FedAvgServer.aggregate` with ``allow_empty=True``).
+
+    Routes through the compensated flat kernel in
+    :mod:`repro.fl.coordinator.aggregator`, the same arithmetic path the
+    hierarchical :class:`~repro.fl.coordinator.aggregator.TreeAggregator`
+    uses — which is what makes tree and flat aggregation bit-identical.
+    Integer-dtype entries round to nearest on the cast back (the historic
+    ``astype`` truncated toward zero, biasing counters low every round).
     """
-    if not states:
-        raise ValueError("need at least one client state to aggregate")
-    if weights is None:
-        weights = [1.0] * len(states)
-    if len(weights) != len(states):
-        raise ValueError("weights and states must have the same length")
-    weight_array = np.asarray(weights, dtype=np.float64)
-    if np.any(weight_array < 0) or weight_array.sum() <= 0:
-        raise ValueError("weights must be non-negative and not all zero")
-    weight_array = weight_array / weight_array.sum()
-
-    reference_keys = list(states[0].keys())
-    for state in states[1:]:
-        if list(state.keys()) != reference_keys:
-            raise ValueError("client state dicts have mismatched keys")
-
-    aggregated: "OrderedDict[str, np.ndarray]" = OrderedDict()
-    for key in reference_keys:
-        stacked = np.stack([np.asarray(state[key], dtype=np.float64) for state in states])
-        averaged = np.tensordot(weight_array, stacked, axes=(0, 0))
-        aggregated[key] = averaged.astype(states[0][key].dtype)
-    return aggregated
+    return weighted_mean_states(states, weights)
 
 
 def evaluate_model(model: Module, dataset: Dataset, batch_size: int = 128) -> float:
@@ -66,11 +53,19 @@ def evaluate_model(model: Module, dataset: Dataset, batch_size: int = 128) -> fl
 
 
 class FedAvgServer:
-    """Holds the global model and coordinates aggregation/validation."""
+    """Holds the global model and coordinates aggregation/validation.
 
-    def __init__(self, model: Module, test_dataset: Dataset | None = None) -> None:
+    ``aggregator`` selects the aggregation topology: ``None`` is the flat
+    FedAvg reference (:func:`fedavg_aggregate`); passing a
+    :class:`~repro.fl.coordinator.aggregator.TreeAggregator` fans clients into
+    edge aggregators instead — bit-identical output, bounded per-node fan-in.
+    """
+
+    def __init__(self, model: Module, test_dataset: Dataset | None = None,
+                 aggregator: "Aggregator | None" = None) -> None:
         self.model = model
         self.test_dataset = test_dataset
+        self.aggregator = aggregator
 
     def global_state(self) -> "OrderedDict[str, np.ndarray]":
         """Copy of the current global state dict."""
@@ -89,7 +84,10 @@ class FedAvgServer:
             # nothing arrived: the global model carries over untouched (and
             # the non-empty common case never pays for a state-dict copy)
             return self.global_state()
-        new_state = fedavg_aggregate(states, weights)
+        if self.aggregator is not None:
+            new_state = self.aggregator.aggregate(states, weights)
+        else:
+            new_state = fedavg_aggregate(states, weights)
         self.model.load_state_dict(new_state)
         return new_state
 

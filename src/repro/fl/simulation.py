@@ -1,14 +1,24 @@
-"""Round-by-round federated simulation with a concurrent, scenario-rich engine.
+"""Round-by-round federated simulation — the facade over the coordinator services.
 
-:class:`FederatedSimulation` orchestrates the full paper workflow:
+:class:`FederatedSimulation` keeps the historic synchronous API (construct,
+``plan_round``, ``run_round``, ``run``) and its bit-exact seeded outputs, but
+the round engine itself now lives in :mod:`repro.fl.coordinator`:
 
-* partition a dataset over ``n_clients`` (IID by default, as in Section VI-B),
-* each round, broadcast the global state, run local SGD on the participating
-  clients, encode each update through the configured :class:`UpdateCodec`,
-  move it over the :class:`NetworkModel`, decode at the server, FedAvg, and
-  validate,
-* record a :class:`RoundRecord` with accuracy, byte counts, and the
-  train/compress/communicate time breakdown that Figures 4-7 report.
+* :class:`~repro.fl.coordinator.scheduler.RoundScheduler` owns the seeded
+  scenario draws (participation sampling, dropouts, stragglers),
+* :class:`~repro.fl.coordinator.transport.SimulatedTransport` owns the
+  encode → transfer → decode pipeline (pooled over the execution backend, or
+  asyncio-overlapped with ``overlap="async"`` where simulated delays become
+  awaits and one thread holds every uplink in flight),
+* :class:`~repro.fl.coordinator.aggregator.TreeAggregator` optionally replaces
+  flat FedAvg with a hierarchical merge (``tree_fanout``), bit-identical at
+  every fan-in,
+* :class:`~repro.fl.coordinator.journal.RoundJournal` makes rounds durable
+  (``journal_dir``): a run killed mid-round resumes (``resume=True``) and
+  produces the same records as an uninterrupted run,
+* :class:`~repro.fl.coordinator.scheduler.StalenessPolicy` governs updates
+  that miss ``round_deadline_s`` (``max_staleness`` rounds of grace),
+* and the :class:`~repro.fl.coordinator.coordinator.Coordinator` composes them.
 
 Round-engine knobs (all default to the original strictly-sequential,
 full-participation semantics, which the test suite pins bit-for-bit):
@@ -16,51 +26,54 @@ full-participation semantics, which the test suite pins bit-for-bit):
 * ``max_workers`` / ``backend`` — client training and the per-client
   encode → transfer → decode pipeline fan out over an
   :class:`~repro.utils.parallel.ExecutionBackend` pool of this size
-  (``serial`` / ``thread`` / ``process``); with ``simulate_delay=True``
-  networks the injected sleeps overlap across clients, so a parallel round's
-  wall clock approaches the slowest client instead of the sum.
-  ``max_workers=1`` (or ``backend="serial"``) is the sequential reference
-  path, and every backend/worker combination reproduces it bit-for-bit.  Both
-  per-client stages are module-level task functions over explicit picklable
-  argument structs, which is what lets the ``process`` backend ship them to a
-  GIL-free worker farm (clients mutated in a process worker are re-absorbed
-  from the returned updates, so the replicas stay consistent).
+  (``serial`` / ``thread`` / ``process``); every backend/worker combination
+  reproduces the sequential reference bit-for-bit.
 * ``participation`` — clients sampled per round: a float in ``(0, 1]`` is a
-  fraction of the fleet, an int ``> 1`` an absolute count.  Sampling is seeded
-  and independent of the worker count.
+  fraction of the fleet, an int ``> 1`` an absolute count.
 * ``dropout_prob`` — probability that a sampled client is unavailable this
   round (its update never arrives and contributes no bytes).
 * ``straggler_prob`` / ``straggler_slowdown`` — probability that a surviving
   client straggles, multiplying its reported training and transfer time.
-* ``networks`` — optional per-client heterogeneous links; defaults to the
-  shared ``network`` for every client.  Each client's codec is resolved
-  against its own link through :meth:`~repro.fl.codec.UpdateCodec.for_network`
-  — under the bandwidth-aware ``profiled`` plan policy a 5 Mbps straggler
-  ships aggressively-compressed updates while a 500 Mbps client ships
-  near-lossless ones, and ``RoundRecord.client_plans`` records each client's
-  per-tensor plan so the divergence is observable.
-* ``uplink`` — ``"serial"`` (shared uplink, round communication time is the
-  sum over clients; the original semantics) or ``"parallel"`` (independent
-  links, the round waits for the slowest client: the max).
-* ``compute_factors`` — optional per-client device-speed factors forwarded to
-  :class:`~repro.fl.client.FLClient` (reported train time scaling only).
+* ``networks`` — optional per-client heterogeneous links; each client's codec
+  is resolved against its own link through
+  :meth:`~repro.fl.codec.UpdateCodec.for_network`.
+* ``uplink`` — ``"serial"`` (shared uplink: round communication time is the
+  sum) or ``"parallel"`` (independent links: the max).
+* ``compute_factors`` — optional per-client device-speed factors (reported
+  train time scaling only).
+* ``tree_fanout`` — ``0`` for flat FedAvg (default); ``>= 2`` aggregates
+  through a tree of that fan-in (bit-identical result).
+* ``journal_dir`` / ``resume`` — durable rounds on disk; see FORMATS.md for
+  the journal layout.
+* ``round_deadline_s`` / ``max_staleness`` — late-update triage; the default
+  (no deadline) changes nothing.
+* ``overlap`` — ``"pool"`` (historic) or ``"async"`` (overlapped uplinks).
+
+``seed=None`` now draws one fresh scenario seed and derives *everything*
+(partitioning, client seeds, scenario draws) from it, so even an unseeded run
+is internally consistent — and reproducible after the fact when journaled.
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
 from typing import Sequence
 
-import numpy as np
-
-from repro.core.network import UPLINK_MODES, NetworkModel, round_communication_time
-from repro.core.pipeline import FedSZReport
-from repro.core.plan import CompressionPlan
+from repro.core.network import UPLINK_MODES, NetworkModel
 from repro.data.datasets import Dataset
 from repro.data.partition import partition_dataset
-from repro.fl.client import ClientUpdate, FLClient
+from repro.fl.client import FLClient
 from repro.fl.codec import FedSZUpdateCodec, RawUpdateCodec, UpdateCodec
+from repro.fl.coordinator.aggregator import TreeAggregator
+from repro.fl.coordinator.coordinator import (OVERLAP_MODES, Coordinator,
+                                              _train_client_task,
+                                              train_clients_parallel)
+from repro.fl.coordinator.journal import RoundJournal
+from repro.fl.coordinator.records import RoundRecord, SimulationResult
+from repro.fl.coordinator.scheduler import (RoundScheduler, StalenessPolicy,
+                                            resolve_scenario_seed)
+from repro.fl.coordinator.transport import (ShipResult, ShipTask,
+                                            SimulatedTransport,
+                                            ship_update_task)
 from repro.fl.server import FedAvgServer
 from repro.nn.module import Module
 from repro.utils.parallel import ExecutionBackend, get_backend
@@ -68,165 +81,11 @@ from repro.utils.parallel import ExecutionBackend, get_backend
 __all__ = ["RoundRecord", "SimulationResult", "FederatedSimulation",
            "train_clients_parallel"]
 
-
-def _train_client_task(task: "tuple[FLClient, dict, int]") -> ClientUpdate:
-    """Broadcast-and-train one client: ``(client, global_state, epochs)``.
-
-    Module-level and picklable for the process backend.  The broadcast happens
-    inside the task (clients are independent, so receive-then-train per client
-    is bit-identical to a global broadcast followed by training), and the
-    updated state travels back in the returned :class:`ClientUpdate` — the
-    caller re-absorbs it into its own replica when the backend does not share
-    memory.
-    """
-    client, global_state, epochs = task
-    client.receive_global(global_state)
-    return client.train_local(epochs=epochs)
-
-
-def train_clients_parallel(clients: Sequence[FLClient], global_state: dict,
-                           epochs: int = 1, max_workers: int | None = None,
-                           backend: "str | ExecutionBackend" = "thread") -> list[ClientUpdate]:
-    """Broadcast ``global_state`` to every client and train them concurrently.
-
-    Returns the per-client :class:`ClientUpdate` objects in client order, ready
-    for FedAvg aggregation.  Each client owns a private model replica (and
-    ``receive_global`` copies the broadcast arrays), so no state is shared
-    between training workers; on a process backend the trained state is loaded
-    back into the caller's replicas so every backend leaves the clients in the
-    same state.
-    """
-    exec_backend = get_backend(backend)
-    updates = exec_backend.map(_train_client_task,
-                               [(client, global_state, epochs) for client in clients],
-                               workers=max_workers)
-    if not exec_backend.shared_memory:
-        for client, update in zip(clients, updates):
-            client.receive_global(update.state)
-    return updates
-
-
-@dataclass
-class _ShipTask:
-    """Explicit picklable argument struct for :func:`_ship_update_task`."""
-
-    client_id: int
-    state: dict[str, np.ndarray]
-    codec: UpdateCodec
-    network: NetworkModel
-    #: reported transfer time is multiplied by this (1.0 = not a straggler)
-    straggler_slowdown: float
-
-
-@dataclass
-class _ShipResult:
-    """What one client's encode → transfer → decode stage hands back."""
-
-    client_id: int
-    payload_bytes: int
-    raw_bytes: int
-    encode_seconds: float
-    transfer_seconds: float
-    decode_seconds: float
-    state: dict[str, np.ndarray]
-    report: "FedSZReport | None"
-
-
-def _ship_update_task(task: _ShipTask) -> _ShipResult:
-    """Encode, transfer, and decode one client's update.
-
-    Runs per client on the execution backend so that simulated network delays
-    (``simulate_delay=True``, the paper's MPI-delay-injection methodology)
-    overlap across clients instead of sleeping serially.  Module-level with an
-    explicit argument struct so the process backend can ship it to a GIL-free
-    worker; per-client compression statistics come from the codec's per-call
-    reporting API, so they stay accurate at any worker count on any backend.
-    """
-    start = time.perf_counter()
-    payload, report = task.codec.encode_with_report(task.state)
-    encode_seconds = time.perf_counter() - start
-    raw_bytes = len(RawUpdateCodec().encode(task.state))
-
-    transfer_seconds = task.network.transfer_time(len(payload)) * task.straggler_slowdown
-    if task.network.simulate_delay:
-        time.sleep(transfer_seconds)
-
-    start = time.perf_counter()
-    state = task.codec.decode(payload)
-    decode_seconds = time.perf_counter() - start
-    return _ShipResult(client_id=task.client_id, payload_bytes=len(payload),
-                       raw_bytes=raw_bytes, encode_seconds=encode_seconds,
-                       transfer_seconds=transfer_seconds,
-                       decode_seconds=decode_seconds, state=state, report=report)
-
-
-@dataclass
-class RoundRecord:
-    """Measurements of a single communication round."""
-
-    round_index: int
-    accuracy: float
-    mean_train_seconds: float
-    mean_encode_seconds: float
-    mean_decode_seconds: float
-    validation_seconds: float
-    uncompressed_bytes: int
-    transmitted_bytes: int
-    communication_seconds: float
-    client_losses: list[float] = field(default_factory=list)
-    #: ids of the clients whose updates were aggregated this round
-    participants: list[int] = field(default_factory=list)
-    #: ids of sampled clients that dropped out before reporting
-    dropped_clients: list[int] = field(default_factory=list)
-    #: ids of participants whose train/transfer time was straggler-inflated
-    straggler_clients: list[int] = field(default_factory=list)
-    #: per-client compression statistics, keyed by client id (empty when the
-    #: codec collects none, e.g. the uncompressed baseline)
-    client_reports: dict[int, FedSZReport] = field(default_factory=dict)
-    #: per-client compression plans, keyed by client id (empty for codecs that
-    #: report none); under a bandwidth-aware policy on a heterogeneous fleet
-    #: these differ client to client — the per-link selection made visible
-    client_plans: dict[int, CompressionPlan] = field(default_factory=dict)
-
-    @property
-    def compression_ratio(self) -> float:
-        """Aggregate upload compression ratio across all clients this round."""
-        return self.uncompressed_bytes / self.transmitted_bytes if self.transmitted_bytes else 1.0
-
-
-@dataclass
-class SimulationResult:
-    """All rounds of one federated run plus the configuration context."""
-
-    codec_name: str
-    rounds: list[RoundRecord] = field(default_factory=list)
-
-    @property
-    def final_accuracy(self) -> float:
-        """Validation accuracy after the last round (0.0 when no rounds ran)."""
-        return self.rounds[-1].accuracy if self.rounds else 0.0
-
-    @property
-    def accuracies(self) -> list[float]:
-        """Per-round validation accuracies (the Figure 4 series)."""
-        return [r.accuracy for r in self.rounds]
-
-    @property
-    def total_transmitted_bytes(self) -> int:
-        """Total client→server upload volume over the run."""
-        return sum(r.transmitted_bytes for r in self.rounds)
-
-    @property
-    def total_communication_seconds(self) -> float:
-        """Total modeled client→server transfer time over the run."""
-        return sum(r.communication_seconds for r in self.rounds)
-
-    @property
-    def mean_compression_ratio(self) -> float:
-        """Mean of the per-round aggregate compression ratios."""
-        if not self.rounds:
-            return 1.0
-        return float(np.mean([r.compression_ratio for r in self.rounds]))
+# historic private names, kept as aliases for any code that reached in
+# (_train_client_task is imported above under its historic name)
+_ShipTask = ShipTask
+_ShipResult = ShipResult
+_ship_update_task = ship_update_task
 
 
 class FederatedSimulation:
@@ -243,23 +102,26 @@ class FederatedSimulation:
                  networks: Sequence[NetworkModel] | None = None,
                  uplink: str = "serial",
                  compute_factors: Sequence[float] | None = None,
-                 backend: "str | ExecutionBackend" = "thread") -> None:
+                 backend: "str | ExecutionBackend" = "thread",
+                 tree_fanout: int = 0,
+                 journal_dir=None, resume: bool = False,
+                 round_deadline_s: float | None = None,
+                 max_staleness: int = 0, overlap: str = "pool") -> None:
         if max_workers is not None and max_workers < 1:
             raise ValueError("max_workers must be >= 1")
         self.backend = get_backend(backend)  # unknown names raise ValueError
         if uplink not in UPLINK_MODES:
             raise ValueError(f"uplink must be one of {UPLINK_MODES}, got {uplink!r}")
-        if isinstance(participation, bool) or not isinstance(participation, (int, float)):
-            raise ValueError("participation must be a fraction in (0, 1] or an int count")
-        if isinstance(participation, int):
-            if not 1 <= participation <= n_clients:
-                raise ValueError(f"participation count must be in [1, {n_clients}], got {participation}")
-        elif not 0.0 < participation <= 1.0:
-            raise ValueError(f"participation fraction must be in (0, 1], got {participation}")
-        if not 0.0 <= dropout_prob <= 1.0:
-            raise ValueError("dropout_prob must be in [0, 1]")
-        if not 0.0 <= straggler_prob <= 1.0:
-            raise ValueError("straggler_prob must be in [0, 1]")
+        if overlap not in OVERLAP_MODES:
+            raise ValueError(f"overlap must be one of {OVERLAP_MODES}, got {overlap!r}")
+        if tree_fanout and tree_fanout < 2:
+            raise ValueError(f"tree_fanout must be 0 (flat) or >= 2, got {tree_fanout}")
+        if resume and journal_dir is None:
+            raise ValueError("resume=True requires journal_dir")
+        # the scheduler carries the scenario validation (identical messages to
+        # the historic inline checks); the seed is patched in below once known
+        scheduler_probe = RoundScheduler(n_clients, participation, dropout_prob,
+                                         straggler_prob, seed=0)
         if straggler_slowdown < 1.0:
             raise ValueError("straggler_slowdown must be >= 1.0")
         if networks is not None and len(networks) != n_clients:
@@ -285,129 +147,83 @@ class FederatedSimulation:
         # per-link plan policies for the bandwidth-aware ones
         self.client_codecs = [self.codec.for_network(net)
                               for net in self.client_networks]
-        # seed=None means "give me a different run every time" — draw a fresh
-        # scenario seed from entropy instead of silently pinning the
-        # participant/dropout/straggler pattern to seed 0
-        self._scenario_seed = seed if seed is not None \
-            else int(np.random.SeedSequence().entropy) % (2 ** 63)
 
+        # durable rounds: open (or reopen) the journal before anything seeded
+        # happens, because a resumed run takes its scenario seed from the
+        # journal — including runs originally launched with seed=None
+        self.journal = RoundJournal(journal_dir, resume=resume) \
+            if journal_dir is not None else None
+        journal_state = self.journal.load() if resume else None
+        if journal_state is not None and seed is not None \
+                and int(seed) != journal_state.scenario_seed:
+            raise ValueError(f"journal scenario seed {journal_state.scenario_seed} "
+                             f"does not match this run's seed {seed}")
+        self._scenario_seed = journal_state.scenario_seed \
+            if journal_state is not None else resolve_scenario_seed(seed)
+
+        self.scheduler = scheduler_probe
+        self.scheduler.seed = self._scenario_seed
+
+        # every seeded quantity derives from the one scenario seed: with an
+        # explicit seed this reproduces the historic behaviour exactly, and
+        # with seed=None the partition and the per-client seeds now follow the
+        # drawn scenario seed instead of silently pinning to seed 0
         shards = partition_dataset(train_dataset, n_clients, scheme=partition_scheme,
-                                   alpha=dirichlet_alpha, seed=seed)
+                                   alpha=dirichlet_alpha, seed=self._scenario_seed)
         factors = list(compute_factors) if compute_factors is not None else [1.0] * n_clients
         self.clients = [
             FLClient(client_id=i, model=model_factory(), dataset=shard,
-                     batch_size=batch_size, lr=lr, momentum=momentum, seed=(seed or 0) + i,
+                     batch_size=batch_size, lr=lr, momentum=momentum,
+                     seed=self._scenario_seed + i,
                      compute_factor=factors[i])
             for i, shard in enumerate(shards)
         ]
         global_model: Module = model_factory()
-        self.server = FedAvgServer(global_model, test_dataset)
+        aggregator = TreeAggregator(fan_in=tree_fanout) if tree_fanout else None
+        self.server = FedAvgServer(global_model, test_dataset, aggregator=aggregator)
+
+        self.transport = SimulatedTransport(backend=self.backend,
+                                            max_workers=max_workers)
+        self.coordinator = Coordinator(
+            clients=self.clients, server=self.server, scheduler=self.scheduler,
+            transport=self.transport, client_codecs=self.client_codecs,
+            client_networks=self.client_networks, codec_name=self.codec.name,
+            local_epochs=self.local_epochs,
+            straggler_slowdown=self.straggler_slowdown, uplink=uplink,
+            backend=self.backend, max_workers=max_workers, overlap=overlap,
+            round_deadline_s=round_deadline_s,
+            staleness=StalenessPolicy(max_staleness=max_staleness),
+            journal=self.journal, journal_state=journal_state)
 
     # ------------------------------------------------------------------
     @property
     def _full_participation(self) -> bool:
-        if self.dropout_prob or self.straggler_prob:
-            return False
-        # branch on type first: an int participation of 1 is a *count* of one
-        # client, not the 1.0 full-participation fraction
-        if isinstance(self.participation, int):
-            return self.participation == len(self.clients)
-        return self.participation == 1.0
+        return self.scheduler.full_participation
 
     def _participation_count(self) -> int:
-        n = len(self.clients)
-        if isinstance(self.participation, int):
-            return self.participation
-        return max(1, round(self.participation * n))
+        return self.scheduler.participation_count()
 
     def plan_round(self, round_index: int) -> tuple[list[int], list[int], list[int]]:
         """Seeded scenario draw for one round: (participants, dropped, stragglers).
 
-        The draw depends only on the simulation seed, the scenario knobs, and
-        ``round_index`` — never on the worker count or wall-clock — so a run is
-        reproducible at any parallelism level.
+        Delegates to the :class:`RoundScheduler`; the historic three-list
+        return shape is preserved.
         """
-        n = len(self.clients)
-        if self._full_participation:
-            return list(range(n)), [], []
-        rng = np.random.default_rng([self._scenario_seed, 0x5CE9A210, round_index])
-        sampled = sorted(int(i) for i in rng.choice(n, size=self._participation_count(),
-                                                    replace=False))
-        dropped = [i for i in sampled
-                   if self.dropout_prob and rng.random() < self.dropout_prob]
-        survivors = [i for i in sampled if i not in dropped]
-        stragglers = [i for i in survivors
-                      if self.straggler_prob and rng.random() < self.straggler_prob]
-        return survivors, dropped, stragglers
+        return self.scheduler.plan_round(round_index).as_tuple()
 
     # ------------------------------------------------------------------
     def run_round(self, round_index: int) -> RoundRecord:
         """Execute one communication round and return its measurements."""
-        global_state = self.server.global_state()
-        participants, dropped, stragglers = self.plan_round(round_index)
-        straggler_set = set(stragglers)
-        active = [self.clients[i] for i in participants]
-
-        updates: list[ClientUpdate] = train_clients_parallel(
-            active, global_state, epochs=self.local_epochs,
-            max_workers=self.max_workers, backend=self.backend) if active else []
-
-        tasks = [
-            _ShipTask(client_id=cid, state=update.state,
-                      codec=self.client_codecs[cid],
-                      network=self.client_networks[cid],
-                      straggler_slowdown=self.straggler_slowdown
-                      if cid in straggler_set else 1.0)
-            for cid, update in zip(participants, updates)
-        ]
-        shipped: list[_ShipResult] = self.backend.map(
-            _ship_update_task, tasks, workers=self.max_workers)
-        transfer_times = [result.transfer_seconds for result in shipped]
-        client_reports = {result.client_id: result.report for result in shipped
-                          if result.report is not None}
-        client_plans = {cid: report.plan for cid, report in client_reports.items()
-                        if report.plan is not None}
-
-        train_times = [
-            update.train_seconds * (self.straggler_slowdown if cid in straggler_set else 1.0)
-            for cid, update in zip(participants, updates)
-        ]
-        losses = [update.train_loss for update in updates]
-        decoded_states = [result.state for result in shipped]
-        weights = [update.num_samples for update in updates]
-
-        self.server.aggregate(decoded_states, weights, allow_empty=True)
-        start = time.perf_counter()
-        accuracy = self.server.evaluate()
-        validation_seconds = time.perf_counter() - start
-
-        def _mean(values: list[float]) -> float:
-            return float(np.mean(values)) if values else 0.0
-
-        return RoundRecord(
-            round_index=round_index,
-            accuracy=accuracy,
-            mean_train_seconds=_mean(train_times),
-            mean_encode_seconds=_mean([result.encode_seconds for result in shipped]),
-            mean_decode_seconds=_mean([result.decode_seconds for result in shipped]),
-            validation_seconds=validation_seconds,
-            uncompressed_bytes=sum(result.raw_bytes for result in shipped),
-            transmitted_bytes=sum(result.payload_bytes for result in shipped),
-            communication_seconds=round_communication_time(transfer_times, self.uplink),
-            client_losses=losses,
-            participants=list(participants),
-            dropped_clients=list(dropped),
-            straggler_clients=list(stragglers),
-            client_reports=client_reports,
-            client_plans=client_plans,
-        )
+        return self.coordinator.run_round(round_index)
 
     def run(self, n_rounds: int = 10) -> SimulationResult:
-        """Run ``n_rounds`` communication rounds and collect the records."""
-        result = SimulationResult(codec_name=self.codec.name)
-        for round_index in range(n_rounds):
-            result.rounds.append(self.run_round(round_index))
-        return result
+        """Run ``n_rounds`` communication rounds and collect the records.
+
+        When resuming from a journal, already-completed rounds replay from
+        disk and only the remainder executes live — the combined result is
+        identical on every deterministic field to an uninterrupted run.
+        """
+        return self.coordinator.run(n_rounds)
 
 
 def make_fedsz_simulation(model_factory, train_dataset: Dataset, test_dataset: Dataset,

@@ -28,7 +28,8 @@ import struct
 
 import numpy as np
 
-__all__ = ["MAX_NDIM", "pack_bytes_dict", "unpack_bytes_dict", "pack_arrays", "unpack_arrays"]
+__all__ = ["MAX_NDIM", "pack_bytes_dict", "unpack_bytes_dict", "pack_arrays",
+           "unpack_arrays", "packed_arrays_nbytes"]
 
 _MAGIC_BYTES = b"FSZB"
 _MAGIC_ARRAYS = b"FSZA"
@@ -108,6 +109,24 @@ def pack_arrays(arrays: dict[str, np.ndarray]) -> bytes:
         out.append(struct.pack("<Q", len(raw)))
         out.append(raw)
     return b"".join(out)
+
+
+def packed_arrays_nbytes(arrays: dict[str, np.ndarray]) -> int:
+    """Exact ``len(pack_arrays(arrays))`` without serializing anything.
+
+    The packed size is a pure function of key names, dtypes, and shapes, so
+    callers that only need the uncompressed byte count of a state dict (the
+    round engine reports it every round for every client) can compute it
+    analytically instead of materializing and discarding the buffer.
+    """
+    total = 4 + 4  # magic + entry count
+    for key, arr in arrays.items():
+        arr = np.asarray(arr)
+        total += 4 + len(key.encode("utf-8"))          # key record
+        total += 4 + len(arr.dtype.str.encode("utf-8"))  # dtype record
+        total += 4 + 8 * arr.ndim                      # ndim + shape
+        total += 8 + arr.nbytes                        # length + raw bytes
+    return total
 
 
 def unpack_arrays(data: bytes) -> dict[str, np.ndarray]:

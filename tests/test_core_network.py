@@ -61,6 +61,12 @@ class TestBenefitCriterion:
         assert crossover_bandwidth(0.1, 0.1, 1e6, 1e6) == 0.0
         assert not compression_is_worthwhile(0.1, 0.1, 1e6, 1.2e6, 10.0)
 
+    def test_no_savings_and_no_overhead_is_never_worthwhile(self):
+        # regression: a codec that saves no bytes has crossover 0.0 even when
+        # it also costs no time — the overhead check used to win and claim inf
+        assert crossover_bandwidth(0.0, 0.0, 1e6, 1e6) == 0.0
+        assert crossover_bandwidth(0.0, 0.0, 1e6, 2e6) == 0.0
+
 
 class TestNetworkModel:
     def test_transfer_time_matches_formula(self):

@@ -49,6 +49,28 @@ class TestClient:
         client = FLClient(0, _factory(), train)
         assert 0.0 <= client.evaluate(test) <= 1.0
 
+    def test_evaluate_restores_entry_mode(self, tiny_split):
+        # regression: evaluate used to force train(True) on exit even when
+        # the model entered in evaluation mode
+        train, test = tiny_split
+        client = FLClient(0, _factory(), train)
+        client.model.train(False)
+        client.evaluate(test)
+        assert client.model.training is False
+
+    def test_later_rounds_use_fresh_batch_order(self, tiny_split):
+        # regression: every round used to replay the identical shuffle, so the
+        # model saw the same batch sequence against an evolving state
+        train, _ = tiny_split
+        state = _factory().state_dict()
+        losses = {}
+        for round_index in (0, 1):
+            client = FLClient(0, _factory(), train, batch_size=32, lr=0.1, seed=9)
+            client.receive_global(state)
+            losses[round_index] = client.train_local(
+                epochs=1, round_index=round_index).train_loss
+        assert losses[0] != losses[1]
+
 
 class TestCodecs:
     def test_raw_codec_bit_exact(self, small_state):

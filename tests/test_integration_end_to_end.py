@@ -36,7 +36,7 @@ class TestFederatedWithExtensions:
         train, test = tiny_split
         codec = DPFedSZUpdateCodec(FedSZConfig(error_bound=1e-2),
                                    DPFedSZConfig(epsilon=5.0, clip_norm=5.0, seed=0))
-        sim = FederatedSimulation(_factory, train, test, n_clients=2, codec=codec, lr=0.15, seed=1)
+        sim = FederatedSimulation(_factory, train, test, n_clients=2, codec=codec, lr=0.15, seed=2)
         result = sim.run(3)
         assert len(result.rounds) == 3
         assert result.mean_compression_ratio > 1.0
