@@ -10,6 +10,9 @@ Three drills over an 8-client FedAvg run on a simulated 2 Mbps uplink:
   pool and over the asyncio overlapped-uplink path (``overlap="async"``, where
   simulated delays become awaits); results must match bit-for-bit and the
   async round should approach ``max`` rather than ``sum`` of the delays.
+  A third leg re-runs the async path with ``streaming=True`` so each update
+  decodes incrementally as its simulated packets arrive — same bit-identity
+  requirement.
 * **kill-and-resume** (``--kill-resume``) — launch a journaled run in a child
   process that hard-exits mid-round (``REPRO_JOURNAL_CRASH_AFTER``), resume it
   from the journal, and require the combined result to match an uninterrupted
@@ -115,17 +118,21 @@ def _run_tree_drill(train, test, cfg, backend: str):
 
 
 def _run_overlap_drill(train, test, cfg, backend: str):
-    """Pool vs asyncio-overlapped uplinks: wall clock and bit-identity."""
+    """Pool vs asyncio-overlapped uplinks (batch and streaming decode)."""
     walls, results = {}, {}
-    for overlap, workers in (("pool", 1), ("async", 1)):
+    for label, overlap, streaming in (("pool", "pool", False),
+                                      ("async", "async", False),
+                                      ("async-streaming", "async", True)):
         sim = _build_simulation(train, test, cfg, backend=backend,
-                                max_workers=workers, overlap=overlap)
+                                max_workers=1, overlap=overlap,
+                                streaming=streaming)
         start = time.perf_counter()
-        results[overlap] = sim.run(ROUNDS)
-        walls[overlap] = time.perf_counter() - start
-    assert _deterministic_fields(results["async"]) == \
-        _deterministic_fields(results["pool"]), \
-        "async overlapped uplinks diverged from the pool path"
+        results[label] = sim.run(ROUNDS)
+        walls[label] = time.perf_counter() - start
+    for label in ("async", "async-streaming"):
+        assert _deterministic_fields(results[label]) == \
+            _deterministic_fields(results["pool"]), \
+            f"{label} overlapped uplinks diverged from the pool path"
     return walls, results
 
 
@@ -196,13 +203,13 @@ def _check_and_report(backend: str, persist: bool, assert_speedup: bool,
     for label, wall, identical in tree_rows:
         table.add_row(f"aggregate {label}", f"{wall * 1e3:.2f}ms", str(identical))
         record.add(drill=f"aggregate-{label}", wall_seconds=wall)
-    for overlap in ("pool", "async"):
-        table.add_row(f"uplinks {overlap}", f"{walls[overlap]:.2f}",
-                      str(overlap == "pool" or
-                          _deterministic_fields(results["async"]) ==
+    for label in ("pool", "async", "async-streaming"):
+        table.add_row(f"uplinks {label}", f"{walls[label]:.2f}",
+                      str(label == "pool" or
+                          _deterministic_fields(results[label]) ==
                           _deterministic_fields(results["pool"])))
-        record.add(drill=f"uplinks-{overlap}", wall_seconds=walls[overlap],
-                   final_accuracy=results[overlap].final_accuracy)
+        record.add(drill=f"uplinks-{label}", wall_seconds=walls[label],
+                   final_accuracy=results[label].final_accuracy)
     if kill_resume:
         resume_stats = _run_kill_resume_drill(backend)
         table.add_row("kill-and-resume", "-", "True")

@@ -1,0 +1,192 @@
+"""Streaming decode: bytes-in-flight vs wall-clock on a simulated uplink.
+
+Two drills over one compressed model update on a 2 Mbps simulated link:
+
+* **bytes-in-flight** — ship the update through the streaming decode path at
+  several packet sizes and report, per size, when decode *can* start (first
+  packet arrival) against when the full transfer completes, plus the decode
+  time the consumer managed to hide inside the transfer window
+  (``ShipResult.decode_overlap_seconds``).  The analytic invariant — decode
+  starts strictly before the transfer finishes whenever the payload spans more
+  than one packet — is asserted unconditionally.
+* **wall-clock** — re-ship with ``simulate_delay=True`` so packet arrivals are
+  real sleeps, batch vs streaming: the streaming ship decodes during the
+  sleeps, so only the residual tail lands after the last packet.  The
+  wall-clock speedup assertion is gated on ``os.cpu_count() > 1``; shared
+  single-core hosts time sleeps too coarsely to compare reliably.
+
+Both drills require the streamed state to match the batch decode bit-for-bit.
+
+Entry point: ``PYTHONPATH=src python benchmarks/bench_streaming.py
+[--backend process] [--smoke]`` — ``--smoke`` is the correctness-only CI
+drill (no persistence, no timing assertion).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+from dataclasses import replace
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from bench_utils import save_results, trained_like_state
+from repro.core import NetworkModel
+from repro.core.config import FedSZConfig
+from repro.fl.codec import FedSZUpdateCodec
+from repro.fl.coordinator.transport import (ShipTask, SimulatedTransport,
+                                            ship_update_task)
+from repro.metrics import ExperimentRecord, Table
+
+BANDWIDTH_MBPS = 2.0
+PACKET_SIZES = (2048, 8192, 32 * 1024)
+SEED = 29
+
+
+def _update_state() -> dict[str, np.ndarray]:
+    # mobilenetv2 at the repo's CPU scale: ~330 KiB of trained-looking floats,
+    # compressing to ~75 KiB — several packets at every size in the sweep,
+    # with enough decode work (~tens of ms) for overlap to be visible
+    return trained_like_state("mobilenetv2", seed=SEED)
+
+
+def _assert_states_match(streamed, reference) -> None:
+    assert list(streamed) == list(reference), "streamed tensor order diverged"
+    for key in reference:
+        assert streamed[key].dtype == reference[key].dtype
+        assert np.array_equal(streamed[key], reference[key]), \
+            f"streamed tensor {key!r} is not bit-identical to the batch decode"
+
+
+# ---------------------------------------------------------------------------
+def _run_bytes_in_flight_drill(state, codec, backend: str):
+    """Packet-size sweep: decode start vs transfer end, overlap per size."""
+    network = NetworkModel(bandwidth_mbps=BANDWIDTH_MBPS)
+    task = ShipTask(client_id=0, state=state, codec=codec, network=network)
+    batch = ship_update_task(task)
+
+    rows = []
+    for packet_bytes in PACKET_SIZES:
+        transport = SimulatedTransport(backend=backend, streaming=True,
+                                       packet_bytes=packet_bytes)
+        result = transport.ship(task)
+        _assert_states_match(result.state, batch.state)
+        assert result.transfer_seconds == batch.transfer_seconds, \
+            "streaming must not change the recorded transfer time"
+
+        schedule = network.packet_arrivals(result.payload_bytes, packet_bytes)
+        decode_start, transfer_end = schedule[0][1], schedule[-1][1]
+        if len(schedule) > 1:
+            # the whole point of streaming: decode begins before the wire is done
+            assert decode_start < transfer_end, \
+                (f"decode start {decode_start:.4f}s not before transfer end "
+                 f"{transfer_end:.4f}s at packet_bytes={packet_bytes}")
+        overlap = result.decode_overlap_seconds or 0.0
+        rows.append((packet_bytes, result.payload_bytes, len(schedule),
+                     decode_start, transfer_end, result.decode_seconds,
+                     overlap))
+    return batch, rows
+
+
+def _run_wall_clock_drill(state, codec, backend: str):
+    """Batch vs streaming ship on a real-sleep link: wall clock comparison."""
+    # high enough bandwidth that the drill stays fast, low enough that the
+    # transfer window is much longer than the decode work it must hide
+    network = NetworkModel(bandwidth_mbps=5.0, latency_s=0.01,
+                           simulate_delay=True)
+    task = ShipTask(client_id=0, state=state, codec=codec, network=network)
+
+    walls, results = {}, {}
+    for label, streaming in (("batch", False), ("streaming", True)):
+        transport = SimulatedTransport(backend=backend, streaming=streaming,
+                                       packet_bytes=16 * 1024)
+        start = time.perf_counter()
+        results[label] = transport.ship(task)
+        walls[label] = time.perf_counter() - start
+    _assert_states_match(results["streaming"].state, results["batch"].state)
+    return walls, results
+
+
+# ---------------------------------------------------------------------------
+def _check_and_report(backend: str, persist: bool, assert_speedup: bool) -> int:
+    codec = FedSZUpdateCodec(FedSZConfig())
+    state = _update_state()
+    raw_bytes = sum(int(np.asarray(v).nbytes) for v in state.values())
+
+    batch, flight_rows = _run_bytes_in_flight_drill(state, codec, backend)
+    walls, wall_results = _run_wall_clock_drill(state, codec, backend)
+
+    host_cores = os.cpu_count() or 1
+    table = Table(f"Streaming decode ({backend} backend, {host_cores} core"
+                  f"{'s' if host_cores != 1 else ''}) - "
+                  f"{raw_bytes / 1024:.0f} KiB update, "
+                  f"{BANDWIDTH_MBPS:g} Mbps simulated uplink",
+                  ["packet bytes", "payload", "packets", "decode start (s)",
+                   "transfer end (s)", "decode (s)", "overlapped (s)"])
+    record = ExperimentRecord("streaming",
+                              "incremental decode overlapped with the simulated transfer")
+    record.add(backend=backend, host_cores=host_cores, raw_bytes=raw_bytes,
+               payload_bytes=batch.payload_bytes)
+    for packet_bytes, payload, packets, start, end, decode, overlap in flight_rows:
+        table.add_row(str(packet_bytes), str(payload), str(packets),
+                      f"{start:.4f}", f"{end:.4f}", f"{decode * 1e3:.2f}ms",
+                      f"{overlap * 1e3:.2f}ms")
+        record.add(drill="bytes-in-flight", packet_bytes=packet_bytes,
+                   packets=packets, decode_start_s=start, transfer_end_s=end,
+                   decode_seconds=decode, decode_overlap_seconds=overlap)
+
+    wall_table = Table("Wall clock - real-sleep link, batch vs streaming ship",
+                       ["path", "wall (s)", "decode (s)", "overlapped (s)"])
+    for label in ("batch", "streaming"):
+        result = wall_results[label]
+        overlap = result.decode_overlap_seconds
+        wall_table.add_row(label, f"{walls[label]:.3f}",
+                           f"{result.decode_seconds * 1e3:.2f}ms",
+                           "-" if overlap is None else f"{overlap * 1e3:.2f}ms")
+        record.add(drill="wall-clock", path=label, wall_seconds=walls[label],
+                   decode_seconds=result.decode_seconds)
+
+    if persist:
+        save_results("streaming", [table, wall_table], record)
+    else:
+        print()
+        print(table.render())
+        print()
+        print(wall_table.render())
+
+    # streaming hides decode inside the sleeps, so its wall clock must come in
+    # under batch (transfer then decode); unreliable to time on one core
+    if assert_speedup and host_cores > 1:
+        assert walls["streaming"] < walls["batch"], \
+            (f"streaming {walls['streaming']:.3f}s not faster than "
+             f"batch {walls['batch']:.3f}s")
+    return 0
+
+
+def bench_streaming(benchmark):
+    """pytest-benchmark harness (thread backend, persists results)."""
+    benchmark.pedantic(
+        lambda: _check_and_report("thread", persist=True, assert_speedup=True),
+        rounds=1, iterations=1)
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--backend", default="thread",
+                        choices=("serial", "thread", "process"),
+                        help="execution backend behind the transport")
+    parser.add_argument("--smoke", action="store_true",
+                        help="correctness-only drill: no timing assertion, "
+                             "results are not persisted (CI mode)")
+    args = parser.parse_args(argv)
+    return _check_and_report(args.backend, persist=not args.smoke,
+                             assert_speedup=not args.smoke)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -176,6 +176,10 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--resume", action="store_true",
                           help="resume an interrupted run from --journal-dir "
                                "instead of starting fresh")
+    simulate.add_argument("--streaming", action="store_true",
+                          help="decode updates incrementally as simulated "
+                               "packets arrive, overlapping decompression "
+                               "with the transfer (bit-identical results)")
     _add_entropy_arguments(simulate)
     _add_plan_arguments(simulate)
     _add_backend_argument(simulate)
@@ -259,7 +263,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
                                       max_workers=args.workers, participation=args.participation,
                                       dropout_prob=args.dropout, straggler_prob=args.straggler,
                                       backend=args.backend, tree_fanout=args.tree_fanout,
-                                      journal_dir=journal_dir, resume=args.resume)
+                                      journal_dir=journal_dir, resume=args.resume,
+                                      streaming=args.streaming)
         except ValueError as exc:
             # round-engine ranges that need cross-flag context (--participation
             # count vs --clients, --workers >= 1, probability ranges) plus

@@ -31,6 +31,7 @@ __all__ = [
     "ErrorBound",
     "Compressor",
     "LossyCompressor",
+    "TensorStreamDecoder",
     "CompressionStats",
     "roundtrip",
 ]
@@ -175,18 +176,20 @@ class LossyCompressor(Compressor):
         body = self._compress_float1d(flat.astype(np.float64, copy=False), abs_bound)
         return header + body
 
-    def decompress(self, payload: bytes) -> np.ndarray:
-        """Reconstruct the array stored in ``payload``.
+    @classmethod
+    def _parse_container_header(cls, payload) -> tuple[np.dtype, tuple, int, float, int]:
+        """Validate the shared lossy header of a (possibly partial) payload.
 
-        A truncated or corrupted payload raises :class:`ValueError` — every
-        header field is validated before use and body-decoder failures of any
-        kind are normalized to the same contract.
+        Returns ``(dtype, shape, count, abs_bound, body_offset)``.  Shared by
+        the batch :meth:`decompress` and the streaming decoders so both paths
+        run identical validation; a truncated or corrupt header raises
+        :class:`ValueError`.
         """
         if len(payload) < 2:
             raise ValueError(f"corrupt lossy payload: header needs 2 bytes, "
                              f"got {len(payload)}")
         dtype_code, ndim = struct.unpack_from("<BB", payload, 0)
-        if dtype_code not in self._CODE_DTYPES:
+        if dtype_code not in cls._CODE_DTYPES:
             raise ValueError(f"corrupt lossy payload: unknown dtype code {dtype_code}")
         if ndim > MAX_NDIM:
             raise ValueError(f"corrupt lossy payload: ndim {ndim} exceeds "
@@ -202,13 +205,17 @@ class LossyCompressor(Compressor):
         if not math.isfinite(abs_bound) or abs_bound < 0:
             raise ValueError(f"corrupt lossy payload: absolute bound {abs_bound!r} "
                              f"is not a non-negative finite value")
-        dtype = self._CODE_DTYPES[dtype_code]
+        dtype = cls._CODE_DTYPES[dtype_code]
         count = math.prod(shape) if ndim else 1
         if count * dtype.itemsize > _MAX_DECODED_BYTES:
             raise ValueError(f"corrupt lossy payload: shape {shape} declares an "
                              f"implausible {count} elements")
+        return dtype, shape, count, abs_bound, offset
+
+    def _normalized_body_decode(self, decode, *args):
+        """Run a body decoder with failures normalized to :class:`ValueError`."""
         try:
-            flat = self._decompress_float1d(payload[offset:], count, abs_bound, dtype)
+            return decode(*args)
         except ValueError:
             raise
         except Exception as exc:
@@ -216,7 +223,29 @@ class LossyCompressor(Compressor):
             # corrupt bodies are part of the same documented contract
             raise ValueError(f"corrupt lossy payload: body failed to decode "
                              f"({type(exc).__name__}: {exc})") from exc
+
+    def decompress(self, payload: bytes) -> np.ndarray:
+        """Reconstruct the array stored in ``payload``.
+
+        A truncated or corrupted payload raises :class:`ValueError` — every
+        header field is validated before use and body-decoder failures of any
+        kind are normalized to the same contract.
+        """
+        dtype, shape, count, abs_bound, offset = self._parse_container_header(payload)
+        flat = self._normalized_body_decode(
+            self._decompress_float1d, payload[offset:], count, abs_bound, dtype)
         return flat.astype(dtype, copy=False).reshape(shape)
+
+    def stream_decoder(self) -> "TensorStreamDecoder":
+        """Return a push-based incremental decoder for one lossy payload.
+
+        The base implementation buffers the whole payload and decodes at
+        :meth:`TensorStreamDecoder.finish` — correct for every codec but
+        overlaps nothing.  Codecs whose body embeds an incrementally decodable
+        entropy stream (SZ2/SZ3) override this to decode while bytes arrive;
+        both paths produce bit-identical arrays.
+        """
+        return TensorStreamDecoder(self)
 
     def with_error_bound(self, error_bound: ErrorBound | float,
                          mode: ErrorBoundMode | str | None = None) -> "LossyCompressor":
@@ -230,6 +259,39 @@ class LossyCompressor(Compressor):
         clone.__dict__.update(self.__dict__)
         clone.error_bound = bound
         return clone
+
+
+class TensorStreamDecoder:
+    """Push-based incremental decoder for one lossy tensor payload.
+
+    :meth:`feed` accepts payload bytes in any chunking; :meth:`finish`
+    returns the reconstructed array (or raises :class:`ValueError` for a
+    truncated/corrupt stream, like :meth:`LossyCompressor.decompress`).
+    This base implementation simply buffers and decodes at the end; codec
+    subclasses overlap the expensive stages with arrival.
+    """
+
+    def __init__(self, compressor: LossyCompressor) -> None:
+        self._compressor = compressor
+        self._buf = bytearray()
+        self._result: np.ndarray | None = None
+
+    @property
+    def bytes_received(self) -> int:
+        """Payload bytes fed so far."""
+        return len(self._buf)
+
+    def feed(self, data) -> None:
+        """Consume arriving payload bytes."""
+        if self._result is not None:
+            raise ValueError("cannot feed a finished tensor stream decoder")
+        self._buf += memoryview(data)
+
+    def finish(self) -> np.ndarray:
+        """Return the reconstructed array once the stream is complete."""
+        if self._result is None:
+            self._result = self._compressor.decompress(bytes(self._buf))
+        return self._result
 
 
 def roundtrip(compressor: Compressor, data: np.ndarray) -> tuple[np.ndarray, CompressionStats]:

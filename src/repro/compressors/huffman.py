@@ -64,9 +64,11 @@ import zlib
 
 import numpy as np
 
+from repro.utils.bitstream import StreamBuffer
 from repro.utils.parallel import ExecutionBackend, get_backend
 
-__all__ = ["HuffmanCoder", "MAX_CODE_LENGTH", "DEFAULT_CHUNK_SYMBOLS"]
+__all__ = ["HuffmanCoder", "ChunkBandConsumer", "MAX_CODE_LENGTH",
+           "DEFAULT_CHUNK_SYMBOLS"]
 
 #: Longest permitted codeword.  16 keeps the decode lookup table at 64K entries.
 MAX_CODE_LENGTH = 16
@@ -250,6 +252,259 @@ def _decode_band_task(task: "tuple[bytes, bytes, np.ndarray, np.ndarray, np.ndar
     return out
 
 
+class ChunkBandConsumer:
+    """Incremental decoder for v3 ``HUF3`` streams: feed bytes, get symbols.
+
+    The per-chunk ``(bit_offset, symbol_count)`` index makes any *byte prefix*
+    of the stream useful: chunk ``k`` is decodable as soon as the prefix covers
+    the header plus ``ceil(chunk_end_bit(k) / 8)`` bytes of the packed bit
+    stream.  This consumer exploits that to overlap decode time with arrival
+    time (the paper's ``t_D`` hiding inside ``S'/B``): :meth:`feed` accepts
+    stream bytes in any chunking — per simulated packet, per decompressor
+    output burst, or all at once — parses the header progressively, and
+    eagerly decodes every chunk whose bytes have fully arrived.  Bands of
+    newly-ready chunks go through exactly the same scalar/vectorized decode
+    kernels as :meth:`HuffmanCoder.decode`, so the symbols are bit-identical
+    to a non-streaming decode at any worker count on any backend.
+
+    The stream's CRC-32 covers the *entire* payload, so it can only be
+    verified once the last byte arrives: :meth:`finish` checks it (and the
+    declared total length) before releasing the symbol array.  Structural
+    corruption that a prefix already proves — bad magic, inconsistent chunk
+    geometry, a chunk that decodes past its recorded boundary, over-long
+    streams — raises :class:`ValueError` from :meth:`feed` at the earliest
+    byte that exposes it.  Callers must treat the symbols as tentative until
+    :meth:`finish` returns.
+    """
+
+    def __init__(self, max_workers: int | None = 1,
+                 backend: "str | ExecutionBackend" = "serial") -> None:
+        self.backend = get_backend(backend)
+        self.max_workers = max_workers
+        self._buf = StreamBuffer()
+        self._crc = 0
+        self._crc_pos = _PREFIX_LEN  # next byte offset to fold into the CRC
+        self._crc_stored: int | None = None
+        self._header: "tuple | None" = None  # (lengths, bit_offsets, sym_counts, sym_starts, chunk_ends, count, bits_at)
+        self._tables: "tuple[np.ndarray, np.ndarray] | None" = None
+        self._out: "np.ndarray | None" = None
+        self._next_chunk = 0
+        self._finished: "np.ndarray | None" = None
+
+    # -- public surface ------------------------------------------------
+    @property
+    def header_ready(self) -> bool:
+        """True once the full header (code table + chunk index) has arrived."""
+        return self._header is not None
+
+    @property
+    def chunks_total(self) -> "int | None":
+        """Number of chunks in the stream (``None`` before the header)."""
+        return self._header[1].size if self._header is not None else None
+
+    @property
+    def chunks_decoded(self) -> int:
+        """Chunks decoded so far."""
+        return self._next_chunk
+
+    @property
+    def symbols_decoded(self) -> int:
+        """Symbols decoded so far (a prefix of the final array)."""
+        if self._header is None or self._next_chunk == 0:
+            return 0
+        _, _, sym_counts, sym_starts, _, _, _ = self._header
+        return int(sym_starts[self._next_chunk - 1] + sym_counts[self._next_chunk - 1])
+
+    @property
+    def bytes_received(self) -> int:
+        """Stream bytes fed so far."""
+        return self._buf.available
+
+    def required_prefix(self, chunk: int) -> int:
+        """Bytes of stream prefix sufficient to decode chunks ``0..chunk``.
+
+        Only available once the header has arrived; this is the quantity the
+        FORMATS.md streaming contract specifies.
+        """
+        if self._header is None:
+            raise ValueError("header has not arrived yet")
+        _, _, _, _, chunk_ends, count, bits_at = self._header
+        if count == 0:
+            return bits_at
+        return bits_at + ((int(chunk_ends[chunk]) + 7) >> 3)
+
+    def feed(self, data) -> int:
+        """Consume arriving stream bytes; decodes every newly-complete chunk.
+
+        Returns the number of symbols decoded so far.  Raises
+        :class:`ValueError` on structurally corrupt input.
+        """
+        if self._finished is not None:
+            raise ValueError("cannot feed a finished Huffman stream consumer")
+        self._buf.feed(data)
+        if self._header is None:
+            self._try_parse_header()
+        self._update_crc()
+        if self._header is not None:
+            self._decode_ready()
+        return self.symbols_decoded
+
+    def finish(self) -> np.ndarray:
+        """Verify total length and CRC-32, then return the decoded symbols."""
+        if self._finished is not None:
+            return self._finished
+        if self._header is None:
+            raise _corrupt(f"stream truncated inside the header "
+                           f"({self._buf.available} bytes arrived)")
+        if not self._buf.complete:
+            raise _corrupt(f"stream truncated: {self._buf.available} of "
+                           f"{self._buf.expected} bytes arrived")
+        self._update_crc()
+        if self._crc != self._crc_stored:
+            raise _corrupt("CRC-32 mismatch")
+        self._decode_ready()
+        lengths, bit_offsets, *_ = self._header
+        if self._next_chunk != bit_offsets.size:
+            raise _corrupt("stream ended before every chunk decoded")
+        self._finished = self._out if self._out is not None \
+            else np.zeros(0, dtype=np.int64)
+        return self._finished
+
+    # -- internals -----------------------------------------------------
+    def _update_crc(self) -> None:
+        if self._crc_pos < self._buf.available:
+            self._crc = zlib.crc32(self._buf.view(self._crc_pos), self._crc)
+            self._crc_pos = self._buf.available
+
+    def _try_parse_header(self) -> None:
+        """Parse the fixed header, code table, and chunk index once present.
+
+        Runs the same structural validation as
+        :meth:`HuffmanCoder._parse_header` — everything except the CRC, which
+        needs the whole stream and is deferred to :meth:`finish`.
+        """
+        buf = self._buf
+        fixed = _PREFIX_LEN + _HEADER.size
+        if not buf.has(fixed):
+            return
+        if bytes(buf.view(0, 4)) != _MAGIC:
+            raise _corrupt("bad magic (not a version-3 Huffman stream)")
+        (self._crc_stored,) = struct.unpack("<I", buf.view(4, _PREFIX_LEN))
+        alphabet, count, chunk_size, n_chunks = _HEADER.unpack(buf.view(fixed - _HEADER.size, fixed))
+        offset = fixed
+        if not buf.has(alphabet + 16 * n_chunks + 8, offset):
+            return
+        lengths = np.frombuffer(buf.view(offset, offset + alphabet),
+                                dtype=np.uint8).astype(np.int64)
+        offset += alphabet
+        index = np.frombuffer(buf.view(offset, offset + 16 * n_chunks),
+                              dtype="<u8").reshape(n_chunks, 2).astype(np.int64)
+        offset += 16 * n_chunks
+        (total_bits,) = struct.unpack("<Q", buf.view(offset, offset + 8))
+        offset += 8
+
+        if count == 0:
+            if n_chunks != 0 or total_bits != 0:
+                raise _corrupt("empty stream declares chunks or bits")
+        else:
+            if chunk_size < 1 or n_chunks != -(-count // chunk_size):
+                raise _corrupt(f"{n_chunks} chunks cannot cover {count} symbols "
+                               f"at {chunk_size} symbols per chunk")
+            sym_counts = index[:, 1]
+            expected = np.full(n_chunks, chunk_size, dtype=np.int64)
+            expected[-1] = count - (n_chunks - 1) * chunk_size
+            if not np.array_equal(sym_counts, expected):
+                raise _corrupt("chunk symbol counts disagree with the stream length")
+            bit_offsets = index[:, 0]
+            spans = np.diff(np.concatenate([bit_offsets, [total_bits]]))
+            if bit_offsets[0] != 0 or np.any(spans < sym_counts) or \
+                    np.any(spans > sym_counts * MAX_CODE_LENGTH):
+                raise _corrupt("chunk bit offsets are inconsistent with their symbol counts")
+
+        bit_offsets = index[:, 0]
+        sym_counts = index[:, 1]
+        sym_starts = np.concatenate([[0], np.cumsum(sym_counts)[:-1]]) \
+            if n_chunks else np.zeros(0, dtype=np.int64)
+        chunk_ends = np.concatenate([bit_offsets[1:], [total_bits]]) \
+            if n_chunks else np.zeros(0, dtype=np.int64)
+        # from here on the total stream length is pinned; over-feeding raises
+        self._buf.expect(offset + (total_bits + 7) // 8)
+        self._header = (lengths, bit_offsets, sym_counts, sym_starts,
+                        chunk_ends, count, offset)
+        if count:
+            self._tables = _build_decode_tables(lengths)
+            self._out = np.empty(count, dtype=np.int64)
+
+    def _ready_chunks(self) -> int:
+        """Index one past the last chunk whose bytes have fully arrived."""
+        _, _, _, _, chunk_ends, count, bits_at = self._header
+        if count == 0:
+            return 0
+        avail_bits = (self._buf.available - bits_at) << 3
+        # chunk k is ready when ceil(chunk_ends[k] / 8) bytes arrived, i.e.
+        # chunk_ends[k] <= available whole bits
+        return int(np.searchsorted(chunk_ends, avail_bits, side="right"))
+
+    def _decode_ready(self) -> None:
+        """Eagerly decode every chunk whose bytes have arrived."""
+        lo, hi = self._next_chunk, self._ready_chunks()
+        if hi <= lo:
+            return
+        lengths, bit_offsets, sym_counts, sym_starts, chunk_ends, count, bits_at = self._header
+        table_sym, table_len = self._tables
+        workers = self.backend.resolve_workers(self.max_workers, hi - lo)
+        if workers > 1 and hi - lo >= 2 * _MIN_VECTOR_CHUNKS:
+            # wide burst (a large feed or a fast wire): band it out exactly
+            # like the non-streaming parallel decode
+            cap = workers if not self.backend.gil_bound else \
+                min(workers, os.cpu_count() or 1)
+            n_bands = max(1, min(cap, (hi - lo) // _MIN_VECTOR_CHUNKS))
+            edges = np.linspace(lo, hi, n_bands + 1).astype(int)
+            length_table = lengths.astype(np.uint8).tobytes()
+            bands = [(int(edges[b]), int(edges[b + 1])) for b in range(n_bands)
+                     if edges[b] < edges[b + 1]]
+            tasks = []
+            for b_lo, b_hi in bands:
+                byte0 = int(bit_offsets[b_lo]) >> 3
+                byte_hi = (int(chunk_ends[b_hi - 1]) + 7) >> 3
+                tasks.append((bytes(self._buf.view(bits_at + byte0, bits_at + byte_hi)),
+                              length_table,
+                              bit_offsets[b_lo:b_hi] - (byte0 << 3),
+                              sym_counts[b_lo:b_hi],
+                              chunk_ends[b_lo:b_hi] - (byte0 << 3)))
+            decoded = self.backend.map(_decode_band_task, tasks,
+                                       workers=workers, chunksize=1)
+            for (b_lo, b_hi), band_out in zip(bands, decoded):
+                base = int(sym_starts[b_lo])
+                self._out[base:base + band_out.size] = band_out
+        else:
+            # narrow burst: rebase the ready band onto its zero-copy window
+            # and run the in-process kernels directly
+            byte0 = int(bit_offsets[lo]) >> 3
+            byte_hi = (int(chunk_ends[hi - 1]) + 7) >> 3
+            bit_bytes = np.frombuffer(
+                self._buf.view(bits_at + byte0, bits_at + byte_hi), dtype=np.uint8)
+            rel_offsets = bit_offsets[lo:hi] - (byte0 << 3)
+            rel_ends = chunk_ends[lo:hi] - (byte0 << 3)
+            band_starts = sym_starts[lo:hi] - int(sym_starts[lo])
+            band_out = np.empty(int(sym_counts[lo:hi].sum()), dtype=np.int64)
+            if hi - lo < _MIN_VECTOR_CHUNKS:
+                HuffmanCoder._decode_scalar(bit_bytes, rel_offsets, sym_counts[lo:hi],
+                                            band_starts, rel_ends, table_sym,
+                                            table_len, band_out)
+            else:
+                steps_cap = int(sym_counts[lo:hi].max())
+                w24 = _byte_windows(bit_bytes,
+                                    3 + (steps_cap * MAX_CODE_LENGTH + 7) // 8)
+                comb = (table_sym << 5) | table_len
+                HuffmanCoder._decode_band_vectorized(
+                    w24, comb, rel_offsets, sym_counts[lo:hi], band_starts,
+                    rel_ends, band_out)
+            base = int(sym_starts[lo])
+            self._out[base:base + band_out.size] = band_out
+        self._next_chunk = hi
+
+
 class HuffmanCoder:
     """Encode/decode streams of non-negative integer symbols.
 
@@ -327,6 +582,19 @@ class HuffmanCoder:
         body += index.tobytes()
         body += struct.pack("<Q", total_bits) + packed.tobytes()
         return _MAGIC + struct.pack("<I", zlib.crc32(body)) + body
+
+    def stream_consumer(self, max_workers: int | None = None,
+                        backend: "str | ExecutionBackend | None" = None
+                        ) -> ChunkBandConsumer:
+        """Return a :class:`ChunkBandConsumer` for incremental decoding.
+
+        ``max_workers`` / ``backend`` default to this coder's configuration,
+        matching what :meth:`decode` would use, so a streaming decode is
+        bit-identical to the batch path under the same settings.
+        """
+        return ChunkBandConsumer(
+            max_workers=self.max_workers if max_workers is None else max_workers,
+            backend=self.backend if backend is None else backend)
 
     # ------------------------------------------------------------------
     def _parse_header(self, payload: bytes):

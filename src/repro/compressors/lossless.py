@@ -31,6 +31,8 @@ import numpy as np
 
 __all__ = [
     "LosslessCodec",
+    "StreamDecompressor",
+    "BufferedStreamDecompressor",
     "BloscLZCodec",
     "ShuffleRLECodec",
     "ZlibCodec",
@@ -41,6 +43,111 @@ __all__ = [
     "available_lossless",
     "get_lossless",
 ]
+
+
+class StreamDecompressor:
+    """Push-based incremental counterpart of :meth:`LosslessCodec.decompress`.
+
+    ``feed`` accepts compressed bytes as they arrive and returns whatever
+    plaintext became available; ``finish`` flushes the tail and verifies the
+    stream actually ended.  The concatenation of all returned plaintext is
+    byte-identical to ``decompress`` over the whole payload.  Corrupt or
+    truncated input raises :class:`ValueError` (never a backend-specific
+    exception), matching the repo-wide corruption contract.
+    """
+
+    def feed(self, data) -> bytes:
+        raise NotImplementedError
+
+    def finish(self) -> bytes:
+        raise NotImplementedError
+
+
+class BufferedStreamDecompressor(StreamDecompressor):
+    """Fallback for codecs with no incremental backend: buffer, then decompress.
+
+    Used by the filter-based codecs (blosc-lz, shuffle-rle) whose inverse
+    transform needs the whole body, and by the identity codec.  All plaintext
+    surfaces at :meth:`finish`.
+    """
+
+    def __init__(self, codec: "LosslessCodec") -> None:
+        self._codec = codec
+        self._buf = bytearray()
+
+    def feed(self, data) -> bytes:
+        self._buf += memoryview(data)
+        return b""
+
+    def finish(self) -> bytes:
+        try:
+            return self._codec.decompress(bytes(self._buf))
+        except ValueError:
+            raise
+        except Exception as exc:
+            raise ValueError(f"corrupt lossless stream "
+                             f"({type(exc).__name__}: {exc})") from exc
+
+
+class _ChainedStreamDecompressor(StreamDecompressor):
+    """Incremental wrapper over the stdlib decompressor objects.
+
+    ``factory`` builds one single-member decompressor (``zlib.decompressobj``,
+    ``bz2.BZ2Decompressor``, ...).  ``chain`` reproduces the batch functions'
+    concatenated-member behaviour (gzip/bz2/xz); ``ignore_trailing``
+    reproduces their tolerance for garbage after a completed stream
+    (``zlib.decompress`` ignores trailers unconditionally; bz2/xz ignore
+    trailing bytes only once at least one member decoded; gzip raises).
+    """
+
+    def __init__(self, factory, *, chain: bool, ignore_trailing: bool) -> None:
+        self._factory = factory
+        self._chain = chain
+        self._ignore_trailing = ignore_trailing
+        self._obj = None
+        self._started = False   # current member has consumed bytes
+        self._members = 0       # completed members
+        self._discard = False   # trailing bytes are being ignored
+
+    def feed(self, data) -> bytes:
+        data = bytes(data)
+        if self._discard:
+            return b""
+        out: list[bytes] = []
+        while data:
+            if self._obj is None:
+                self._obj = self._factory()
+                self._started = False
+            try:
+                out.append(self._obj.decompress(data))
+            except Exception as exc:
+                if self._members and self._ignore_trailing and not self._started:
+                    self._discard = True
+                    break
+                raise ValueError(f"corrupt lossless stream "
+                                 f"({type(exc).__name__}: {exc})") from exc
+            self._started = True
+            if not self._obj.eof:
+                break
+            self._members += 1
+            data = self._obj.unused_data
+            self._obj = None
+            if not self._chain:
+                if data and not self._ignore_trailing:
+                    raise ValueError("corrupt lossless stream: trailing data "
+                                     "after the end-of-stream marker")
+                self._discard = True
+                break
+        return b"".join(out)
+
+    def finish(self) -> bytes:
+        if not self._discard:
+            if self._obj is not None and self._started and not self._obj.eof:
+                raise ValueError("corrupt lossless stream: input ended before "
+                                 "the end-of-stream marker")
+            if self._members == 0 and not self._started:
+                raise ValueError("corrupt lossless stream: no data")
+        return b""
 
 
 class LosslessCodec:
@@ -55,6 +162,16 @@ class LosslessCodec:
     def decompress(self, payload: bytes) -> bytes:
         """Invert :meth:`compress`."""
         return bytes(payload)
+
+    def decompressor(self) -> StreamDecompressor:
+        """Return a push-based incremental decompressor for one stream.
+
+        Codecs backed by a stdlib incremental object override this to release
+        plaintext as compressed bytes arrive; the default buffers everything
+        and decompresses at ``finish`` (correct for any codec, overlaps
+        nothing).
+        """
+        return BufferedStreamDecompressor(self)
 
     # -- array convenience ----------------------------------------------------
     def compress_array(self, array: np.ndarray) -> bytes:
@@ -204,6 +321,11 @@ class ZlibCodec(LosslessCodec):
     def decompress(self, payload: bytes) -> bytes:
         return zlib.decompress(payload)
 
+    def decompressor(self) -> StreamDecompressor:
+        # zlib.decompress ignores any bytes after the end-of-stream marker
+        return _ChainedStreamDecompressor(zlib.decompressobj,
+                                          chain=False, ignore_trailing=True)
+
 
 class GzipCodec(LosslessCodec):
     """DEFLATE in a gzip container (matches the paper's Python ``gzip``)."""
@@ -218,6 +340,12 @@ class GzipCodec(LosslessCodec):
 
     def decompress(self, payload: bytes) -> bytes:
         return gzip.decompress(payload)
+
+    def decompressor(self) -> StreamDecompressor:
+        # wbits=31 decodes one gzip member (header + CRC trailer verified);
+        # gzip.decompress accepts concatenated members but rejects trailers
+        return _ChainedStreamDecompressor(lambda: zlib.decompressobj(31),
+                                          chain=True, ignore_trailing=False)
 
 
 class Bzip2Codec(LosslessCodec):
@@ -234,6 +362,10 @@ class Bzip2Codec(LosslessCodec):
     def decompress(self, payload: bytes) -> bytes:
         return bz2.decompress(payload)
 
+    def decompressor(self) -> StreamDecompressor:
+        return _ChainedStreamDecompressor(bz2.BZ2Decompressor,
+                                          chain=True, ignore_trailing=True)
+
 
 class LzmaCodec(LosslessCodec):
     """LZMA (the ``xz`` stand-in: best ratio, slowest runtime)."""
@@ -248,6 +380,10 @@ class LzmaCodec(LosslessCodec):
 
     def decompress(self, payload: bytes) -> bytes:
         return lzma.decompress(payload)
+
+    def decompressor(self) -> StreamDecompressor:
+        return _ChainedStreamDecompressor(lzma.LZMADecompressor,
+                                          chain=True, ignore_trailing=True)
 
 
 class ZstdLikeCodec(LosslessCodec):
@@ -267,6 +403,10 @@ class ZstdLikeCodec(LosslessCodec):
 
     def decompress(self, payload: bytes) -> bytes:
         return zlib.decompress(payload)
+
+    def decompressor(self) -> StreamDecompressor:
+        return _ChainedStreamDecompressor(zlib.decompressobj,
+                                          chain=False, ignore_trailing=True)
 
 
 _LOSSLESS: dict[str, type[LosslessCodec]] = {

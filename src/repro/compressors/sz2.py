@@ -43,6 +43,8 @@ from repro.compressors.predictors import (
     predictions_from_regression,
 )
 from repro.compressors.quantizer import LinearQuantizer
+from repro.compressors.streaming import SZStreamDecoder
+from repro.utils.bitstream import StreamBuffer
 
 __all__ = ["SZ2Compressor"]
 
@@ -132,7 +134,50 @@ class SZ2Compressor(LossyCompressor):
     # ------------------------------------------------------------------
     def _decompress_float1d(self, body: bytes, count: int, abs_bound: float,
                             dtype: np.dtype) -> np.ndarray:
-        body = self.lossless.decompress(body)
+        return self._decode_plain_body(self.lossless.decompress(body), count,
+                                       abs_bound, dtype)
+
+    def stream_decoder(self) -> SZStreamDecoder:
+        """Incremental decoder that overlaps the Huffman stage with arrival."""
+        return SZStreamDecoder(self)
+
+    def _huffman_span(self, plain: "StreamBuffer") -> "tuple[int, int] | None":
+        """Locate the embedded Huffman stream in a plaintext body prefix.
+
+        Returns ``(start, length)`` once the pre-Huffman fields have arrived,
+        ``None`` while more bytes are needed.  Length 0 means the body has no
+        Huffman stream (the empty-array escape).  Field *validation* is not
+        duplicated here — a nonsensical length simply keeps the span
+        unresolved and the batch parser raises the canonical error at finish.
+        """
+        if not plain.has(16):
+            return None
+        _, n_blocks, _ = struct.unpack("<IQI", plain.view(0, 16))
+        if n_blocks == 0:
+            return 16, 0
+        offset = 24  # past <IQI> and original_len
+        if not plain.has(8, offset):
+            return None
+        (sel_len,) = struct.unpack("<Q", plain.view(offset, offset + 8))
+        offset += 8 + sel_len
+        if not plain.has(8, offset):
+            return None
+        (coef_count,) = struct.unpack("<Q", plain.view(offset, offset + 8))
+        offset += 8 + 4 * coef_count
+        if not plain.has(8, offset):
+            return None
+        (huff_len,) = struct.unpack("<Q", plain.view(offset, offset + 8))
+        return offset + 8, huff_len
+
+    def _decode_plain_body(self, body: bytes, count: int, abs_bound: float,
+                           dtype: np.dtype,
+                           codes: "np.ndarray | None" = None) -> np.ndarray:
+        """Reconstruct from the decompressed body.
+
+        ``codes`` carries pre-decoded Huffman symbols from the streaming
+        consumer; ``None`` (the batch path) decodes them here.  Both sources
+        run the same kernels, so the output is bit-identical either way.
+        """
         block_size, n_blocks, radius = struct.unpack_from("<IQI", body, 0)
         offset = 16
         if n_blocks == 0:
@@ -150,7 +195,8 @@ class SZ2Compressor(LossyCompressor):
         offset += 4 * coef_count
         (huff_len,) = struct.unpack_from("<Q", body, offset)
         offset += 8
-        codes = self.huffman.decode(body[offset : offset + huff_len])
+        if codes is None:
+            codes = self.huffman.decode(body[offset : offset + huff_len])
         offset += huff_len
         outliers, offset = LinearQuantizer.unpack_outliers(body, offset)
 

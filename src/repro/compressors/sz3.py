@@ -39,6 +39,8 @@ from repro.compressors.huffman import DEFAULT_CHUNK_SYMBOLS, HuffmanCoder
 from repro.compressors.lossless import LosslessCodec, get_lossless
 from repro.compressors.predictors import InterpolationPredictor
 from repro.compressors.quantizer import LinearQuantizer
+from repro.compressors.streaming import SZStreamDecoder
+from repro.utils.bitstream import StreamBuffer
 
 __all__ = ["SZ3Compressor"]
 
@@ -110,7 +112,47 @@ class SZ3Compressor(LossyCompressor):
     # ------------------------------------------------------------------
     def _decompress_float1d(self, body: bytes, count: int, abs_bound: float,
                             dtype: np.dtype) -> np.ndarray:
-        body = self.lossless.decompress(body)
+        return self._decode_plain_body(self.lossless.decompress(body), count,
+                                       abs_bound, dtype)
+
+    def stream_decoder(self) -> SZStreamDecoder:
+        """Incremental decoder that overlaps the Huffman stage with arrival."""
+        return SZStreamDecoder(self)
+
+    def _huffman_span(self, plain: "StreamBuffer") -> "tuple[int, int] | None":
+        """Locate the embedded Huffman stream in a plaintext body prefix.
+
+        Same contract as :meth:`SZ2Compressor._huffman_span`: ``(start,
+        length)`` once the pre-Huffman fields (anchor block included) have
+        arrived, ``None`` while more bytes are needed, length 0 for the
+        empty-array escape.
+        """
+        fixed = struct.calcsize("<QIB")
+        if not plain.has(fixed):
+            return None
+        n, _, anchor_code = struct.unpack("<QIB", plain.view(0, fixed))
+        if n == 0:
+            return fixed, 0
+        itemsize = 8 if anchor_code else 4
+        offset = fixed
+        if not plain.has(8, offset):
+            return None
+        (anchor_count,) = struct.unpack("<Q", plain.view(offset, offset + 8))
+        offset += 8 + itemsize * anchor_count
+        if not plain.has(8, offset):
+            return None
+        (huff_len,) = struct.unpack("<Q", plain.view(offset, offset + 8))
+        return offset + 8, huff_len
+
+    def _decode_plain_body(self, body: bytes, count: int, abs_bound: float,
+                           dtype: np.dtype,
+                           codes: "np.ndarray | None" = None) -> np.ndarray:
+        """Reconstruct from the decompressed body.
+
+        ``codes`` carries pre-decoded Huffman symbols from the streaming
+        consumer; ``None`` (the batch path) decodes them here.  Both sources
+        run the same kernels, so the output is bit-identical either way.
+        """
         n, radius, anchor_code = struct.unpack_from("<QIB", body, 0)
         offset = struct.calcsize("<QIB")
         if n == 0:
@@ -122,7 +164,8 @@ class SZ3Compressor(LossyCompressor):
         offset += anchor_dtype.itemsize * anchor_count
         (huff_len,) = struct.unpack_from("<Q", body, offset)
         offset += 8
-        codes = self.huffman.decode(body[offset : offset + huff_len])
+        if codes is None:
+            codes = self.huffman.decode(body[offset : offset + huff_len])
         offset += huff_len
         outliers, offset = LinearQuantizer.unpack_outliers(body, offset)
 

@@ -40,6 +40,7 @@ import os
 import struct
 import time
 from collections import OrderedDict
+from collections.abc import Iterator
 from dataclasses import dataclass, replace
 
 import numpy as np
@@ -61,7 +62,7 @@ from repro.core.plan import (
 from repro.utils.parallel import get_backend, map_parallel
 from repro.utils.serialization import pack_arrays, pack_bytes_dict, unpack_arrays, unpack_bytes_dict
 
-__all__ = ["FedSZCompressor", "FedSZReport"]
+__all__ = ["FedSZCompressor", "FedSZReport", "StreamingStateDecoder"]
 
 #: bumped to 4 for the plan-driven mixed-codec format: every ``lossy::``
 #: payload is prefixed with its codec id and the manifest carries the full
@@ -483,6 +484,39 @@ class FedSZCompressor:
         return state
 
     # ------------------------------------------------------------------
+    def stream_decoder(self) -> "StreamingStateDecoder":
+        """A push-based incremental decoder for one FedSZ bitstream.
+
+        Feed it wire bytes as they arrive (in any chunking) and it decodes
+        eagerly — the SZ2/SZ3 entropy stage runs on chunk bands while the rest
+        of the stream is still in flight, which is how the coordinator hides
+        ``t_D`` inside ``S'/B``.  The final state dict is bit-identical to
+        :meth:`decompress_with_report` over the same bytes.
+        """
+        return StreamingStateDecoder(self)
+
+    def decompress_stream(self, chunks) \
+            -> "Iterator[tuple[str, np.ndarray]]":
+        """Decode a FedSZ bitstream from an iterable of byte chunks.
+
+        Yields ``(name, tensor)`` pairs as each tensor's bytes complete —
+        lossy tensors surface mid-stream in plan order, the lossless partition
+        after the last chunk.  Tensors and their order match
+        :meth:`decompress_state_dict` exactly; a truncated or corrupt stream
+        raises :class:`ValueError`.
+        """
+        decoder = self.stream_decoder()
+        yielded: set[str] = set()
+        for chunk in chunks:
+            for name, array in decoder.feed(chunk):
+                yielded.add(name)
+                yield name, array
+        state, _ = decoder.finish()
+        for name, array in state.items():
+            if name not in yielded:
+                yield name, array
+
+    # ------------------------------------------------------------------
     def roundtrip(self, state: dict[str, np.ndarray]) -> tuple["OrderedDict[str, np.ndarray]", FedSZReport]:
         """Compress then decompress ``state``; returns the reconstruction and report."""
         payload, report = self.compress_with_report(state)
@@ -494,3 +528,275 @@ class FedSZCompressor:
     def partition(self, state: dict[str, np.ndarray]) -> PartitionedState:
         """Expose the partitioning decision for inspection (Table III)."""
         return partition_state_dict(state, self.config)
+
+
+class _LossyStreamSink:
+    """Routes one ``lossy::`` entry's bytes through its tensor stream decoder.
+
+    Parses the codec-id prefix as its bytes land, cross-checks it against the
+    manifest plan, then forwards everything else to the codec's
+    :meth:`~repro.compressors.base.LossyCompressor.stream_decoder`.
+    """
+
+    def __init__(self, pipeline: "FedSZCompressor", key: str, expected_codec: str) -> None:
+        self._pipeline = pipeline
+        self._key = key
+        self._expected = expected_codec
+        self._tag_len: "int | None" = None
+        self._tag = bytearray()
+        self._decoder = None
+
+    def feed(self, data: memoryview) -> None:
+        if self._decoder is None:
+            data = self._absorb_tag(data)
+            if self._decoder is None:
+                return
+        if data.nbytes:
+            self._decoder.feed(data)
+
+    def _absorb_tag(self, data: memoryview) -> memoryview:
+        if self._tag_len is None:
+            if not data.nbytes:
+                return data
+            self._tag_len = data[0]
+            data = data[1:]
+            if self._tag_len < 1:
+                raise ValueError(f"corrupt FedSZ bitstream: entry {self._key!r} "
+                                 f"has a truncated codec tag")
+        take = min(self._tag_len - len(self._tag), data.nbytes)
+        self._tag += data[:take]
+        data = data[take:]
+        if len(self._tag) == self._tag_len:
+            try:
+                codec = bytes(self._tag).decode("ascii")
+            except UnicodeDecodeError as exc:
+                raise ValueError(f"corrupt FedSZ bitstream: entry {self._key!r} "
+                                 f"codec tag is not ASCII") from exc
+            if codec != self._expected:
+                raise ValueError(f"corrupt FedSZ bitstream: entry {self._key!r} is "
+                                 f"tagged {codec!r} but the manifest plan says "
+                                 f"{self._expected!r}")
+            self._decoder = self._pipeline._decoder_for(codec).stream_decoder()
+        return data
+
+    def finish(self) -> np.ndarray:
+        if self._tag_len is None:
+            raise ValueError(f"corrupt FedSZ bitstream: entry {self._key!r} is empty")
+        if self._decoder is None:
+            raise ValueError(f"corrupt FedSZ bitstream: entry {self._key!r} "
+                             f"has a truncated codec tag")
+        return _decode_or_valueerror(lambda _: self._decoder.finish(), b"", self._key)
+
+
+class StreamingStateDecoder:
+    """Push-based decoder for one version-4 FedSZ bitstream.
+
+    :meth:`feed` accepts wire bytes in any chunking and returns the lossy
+    tensors whose payloads completed during that call; :meth:`finish`
+    validates the stream end and returns the full state dict plus a decode
+    report.  The tensors, their order, and every validation error class match
+    :meth:`FedSZCompressor.decompress_with_report` bit for bit.
+
+    Two consumption-contract requirements beyond the batch decoder (both
+    guaranteed by the encoder, see FORMATS.md): the ``__manifest__`` entry
+    must be the container's *first* entry (the plan must be known before any
+    lossy payload can be dispatched), and ``lossy::`` entries must appear in
+    manifest plan order (the batch decoder requires this too).
+
+    ``decompress_seconds`` in the report accumulates only time spent inside
+    :meth:`feed`/:meth:`finish` — on a simulated wire that is the decode work
+    actually overlapped with transfer, not the wall-clock span of arrival.
+    """
+
+    def __init__(self, pipeline: FedSZCompressor) -> None:
+        self._pipeline = pipeline
+        self._pending = bytearray()   # partial header-field bytes
+        self._received = 0
+        self._seconds = 0.0
+        self._stage = "magic"         # magic -> keylen -> key -> vallen -> value -> end
+        self._declared = 0            # container entry count
+        self._entries_done = 0
+        self._key = ""
+        self._key_len = 0
+        self._val_len = 0
+        self._val_got = 0
+        self._sink = None
+        self._n_entries: "int | None" = None
+        self._plan: "CompressionPlan | None" = None
+        self._lossy_done: "OrderedDict[str, np.ndarray]" = OrderedDict()
+        self._lossy_compressed = 0
+        self._lossless_arrays: dict[str, np.ndarray] = {}
+        self._lossless_compressed = 0
+        self._result = None
+
+    # -- observability ---------------------------------------------------
+    @property
+    def bytes_received(self) -> int:
+        """Wire bytes fed so far."""
+        return self._received
+
+    @property
+    def tensors_completed(self) -> int:
+        """Lossy tensors fully decoded so far."""
+        return len(self._lossy_done)
+
+    @property
+    def plan(self) -> "CompressionPlan | None":
+        """The manifest plan (available once the first entry has arrived)."""
+        return self._plan
+
+    @property
+    def decode_seconds(self) -> float:
+        """Time spent inside :meth:`feed`/:meth:`finish` so far."""
+        return self._seconds
+
+    # -- streaming surface ----------------------------------------------
+    def feed(self, data) -> list[tuple[str, np.ndarray]]:
+        """Consume arriving wire bytes; returns tensors completed by them."""
+        if self._result is not None:
+            raise ValueError("cannot feed a finished FedSZ stream decoder")
+        start = time.perf_counter()
+        data = memoryview(data)
+        self._received += data.nbytes
+        completed: list[tuple[str, np.ndarray]] = []
+        while data.nbytes and self._stage != "end":
+            data = self._step(data, completed)
+        self._seconds += time.perf_counter() - start
+        return completed
+
+    def finish(self) -> tuple["OrderedDict[str, np.ndarray]", FedSZReport]:
+        """Validate stream completion; returns ``(state_dict, report)``."""
+        if self._result is not None:
+            return self._result
+        start = time.perf_counter()
+        if self._stage == "magic":
+            raise ValueError("not a packed bytes dictionary (bad magic)")
+        if self._stage != "end":
+            raise ValueError(f"truncated FedSZ bitstream: stream ended inside "
+                             f"entry {self._entries_done + 1} of {self._declared} "
+                             f"({self._received} bytes received)")
+        if self._plan is None:
+            raise ValueError("not a FedSZ bitstream: missing manifest")
+        payload_names = list(self._lossy_done)
+        if payload_names != self._plan.tensor_names:
+            raise ValueError(
+                f"corrupt FedSZ bitstream: manifest plans tensors "
+                f"{self._plan.tensor_names!r} but the stream carries "
+                f"{payload_names!r}")
+        state: "OrderedDict[str, np.ndarray]" = OrderedDict(self._lossy_done)
+        for name, array in self._lossless_arrays.items():
+            if name in state:
+                raise ValueError(f"corrupt FedSZ bitstream: tensor {name!r} appears "
+                                 f"in both partitions")
+            state[name] = array
+        if len(state) != self._n_entries:
+            raise ValueError(f"corrupt FedSZ bitstream: manifest declares "
+                             f"{self._n_entries} tensors but {len(state)} were decoded")
+        self._seconds += time.perf_counter() - start
+        report = FedSZReport(
+            original_bytes=sum(int(v.nbytes) for v in state.values()),
+            compressed_bytes=self._received,
+            lossy_original_bytes=sum(int(self._lossy_done[n].nbytes)
+                                     for n in payload_names),
+            lossy_compressed_bytes=self._lossy_compressed,
+            lossless_original_bytes=sum(int(v.nbytes)
+                                        for v in self._lossless_arrays.values()),
+            lossless_compressed_bytes=self._lossless_compressed,
+            compress_seconds=0.0,
+            decompress_seconds=self._seconds,
+            plan=self._plan,
+        )
+        self._result = (state, report)
+        return self._result
+
+    # -- internals -------------------------------------------------------
+    def _step(self, data: memoryview, completed: list) -> memoryview:
+        if self._stage == "value":
+            take = min(self._val_len - self._val_got, data.nbytes)
+            self._val_got += take
+            self._sink_feed(data[:take])
+            if self._val_got == self._val_len:
+                self._entry_done(completed)
+            return data[take:]
+        need = {"magic": 8, "keylen": 4, "vallen": 8, "key": self._key_len}[self._stage]
+        take = min(need - len(self._pending), data.nbytes)
+        self._pending += data[:take]
+        data = data[take:]
+        if len(self._pending) < need:
+            return data
+        field = bytes(self._pending)
+        self._pending.clear()
+        if self._stage == "magic":
+            if field[:4] != b"FSZB":
+                raise ValueError("not a packed bytes dictionary (bad magic)")
+            (self._declared,) = struct.unpack("<I", field[4:])
+            self._stage = "keylen" if self._declared else "end"
+        elif self._stage == "keylen":
+            (self._key_len,) = struct.unpack("<I", field)
+            self._stage = "key"
+        elif self._stage == "key":
+            self._key = field.decode("utf-8")  # UnicodeDecodeError is a ValueError
+            self._stage = "vallen"
+        else:  # vallen
+            (self._val_len,) = struct.unpack("<Q", field)
+            self._val_got = 0
+            self._open_sink()
+            self._stage = "value"
+            if self._val_len == 0:
+                self._entry_done(completed)
+        return data
+
+    def _open_sink(self) -> None:
+        key = self._key
+        if self._entries_done == 0 and key != "__manifest__":
+            raise ValueError(f"streaming decode requires {'__manifest__'!r} as the "
+                             f"first FedSZ container entry, got {key!r} "
+                             f"(see FORMATS.md)")
+        if key == "__manifest__":
+            if self._entries_done != 0:
+                raise ValueError("corrupt FedSZ bitstream: duplicate manifest entry")
+            self._sink = bytearray()
+        elif key == "__lossless__":
+            if self._lossless_compressed or self._lossless_arrays:
+                raise ValueError("corrupt FedSZ bitstream: duplicate "
+                                 "'__lossless__' entry")
+            self._lossless_compressed = self._val_len
+            self._sink = bytearray()
+        elif key.startswith(_LOSSY_PREFIX):
+            name = key[len(_LOSSY_PREFIX):]
+            idx = len(self._lossy_done)
+            plan_names = self._plan.tensor_names
+            if idx >= len(plan_names) or name != plan_names[idx]:
+                raise ValueError(
+                    f"corrupt FedSZ bitstream: manifest plans tensors "
+                    f"{plan_names!r} but the stream carries {key!r} at "
+                    f"lossy position {idx}")
+            self._lossy_compressed += self._val_len
+            self._sink = _LossyStreamSink(self._pipeline, key,
+                                          self._plan[name].codec)
+        else:
+            raise ValueError(f"unexpected entry {key!r} in FedSZ bitstream")
+
+    def _sink_feed(self, data: memoryview) -> None:
+        if isinstance(self._sink, bytearray):
+            self._sink += data
+        else:
+            self._sink.feed(data)
+
+    def _entry_done(self, completed: list) -> None:
+        key, sink = self._key, self._sink
+        if key == "__manifest__":
+            self._n_entries, self._plan = self._pipeline._parse_manifest(bytes(sink))
+        elif key == "__lossless__":
+            if sink:
+                raw = _decode_or_valueerror(self._pipeline.lossless.decompress,
+                                            bytes(sink), "__lossless__")
+                self._lossless_arrays = unpack_arrays(raw)
+        else:
+            name = key[len(_LOSSY_PREFIX):]
+            array = sink.finish()
+            self._lossy_done[name] = array
+            completed.append((name, array))
+        self._sink = None
+        self._entries_done += 1
+        self._stage = "end" if self._entries_done == self._declared else "keylen"

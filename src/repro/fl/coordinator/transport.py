@@ -13,6 +13,16 @@ The uncompressed byte count of an update is computed analytically from array
 sizes (:func:`repro.utils.serialization.packed_arrays_nbytes`); the historic
 path re-encoded the entire state through ``RawUpdateCodec`` per client per
 round just to measure ``len()`` of bytes it then threw away.
+
+Two opt-in wire refinements (both bit-identical to the defaults):
+
+* ``streaming=True`` decodes each update through the codec's incremental
+  :meth:`~repro.fl.codec.UpdateCodec.stream_decoder`, fed packet by packet on
+  the link's analytic arrival schedule, so Eqn. 1's ``t_D`` overlaps ``S'/B``;
+  the measured overlap is reported on ``ShipResult.decode_overlap_seconds``.
+* On backends with the ``pickles_arguments`` trait, ``ship_batch`` moves each
+  task's tensors through a :class:`~repro.utils.parallel.SharedMemoryArena`
+  segment instead of pickling the buffers into the task.
 """
 
 from __future__ import annotations
@@ -20,19 +30,25 @@ from __future__ import annotations
 import abc
 import asyncio
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 import numpy as np
 
 from repro.core.network import NetworkModel
 from repro.fl.codec import UpdateCodec
-from repro.utils.parallel import ExecutionBackend, get_backend
+from repro.utils.parallel import (ArenaHandle, ExecutionBackend,
+                                  SharedMemoryArena, get_backend)
 from repro.utils.serialization import packed_arrays_nbytes
 
 __all__ = ["ShipTask", "ShipResult", "ship_update_task", "Transport",
-           "SimulatedTransport"]
+           "SimulatedTransport", "DEFAULT_PACKET_BYTES"]
 
 from repro.core.pipeline import FedSZReport
+
+#: simulated wire segment size for the streaming decode path; small enough
+#: that a multi-chunk Huffman stream spans many packets, large enough that
+#: per-packet bookkeeping stays negligible against decode work
+DEFAULT_PACKET_BYTES = 64 * 1024
 
 
 @dataclass
@@ -48,6 +64,16 @@ class ShipTask:
     #: retain the encoded payload on the result (journaling needs the bytes
     #: back; everyone else keeps memory flat by dropping them)
     keep_payload: bool = False
+    #: decode through the codec's incremental stream decoder, paced by the
+    #: link's analytic packet schedule, so decode time hides inside transfer
+    #: time (bit-identical outputs either way)
+    streaming: bool = False
+    #: simulated wire segment size used when ``streaming`` is set
+    packet_bytes: int = DEFAULT_PACKET_BYTES
+    #: when set, ``state`` is empty and the tensors live in a shared-memory
+    #: arena segment — the worker attaches instead of unpickling the buffers
+    #: (only used on backends with the ``pickles_arguments`` trait)
+    state_handle: "ArenaHandle | None" = None
 
 
 @dataclass
@@ -64,6 +90,10 @@ class ShipResult:
     report: "FedSZReport | None"
     #: the encoded payload itself, only when ``ShipTask.keep_payload`` was set
     payload: "bytes | None" = None
+    #: streaming path only: the portion of ``decode_seconds`` that the busy
+    #: model places *before* the last byte's arrival — decode work hidden
+    #: inside the transfer window (``None`` on the batch decode path)
+    decode_overlap_seconds: "float | None" = None
 
 
 def _encode(task: ShipTask) -> tuple[bytes, "FedSZReport | None", float, int, float]:
@@ -87,12 +117,80 @@ def _decode(task: ShipTask, payload: bytes) -> tuple[dict[str, np.ndarray], floa
 
 def _result(task: ShipTask, payload: bytes, report, encode_seconds: float,
             raw_bytes: int, transfer_seconds: float,
-            state: dict[str, np.ndarray], decode_seconds: float) -> ShipResult:
+            state: dict[str, np.ndarray], decode_seconds: float,
+            decode_overlap_seconds: "float | None" = None) -> ShipResult:
     return ShipResult(client_id=task.client_id, payload_bytes=len(payload),
                       raw_bytes=raw_bytes, encode_seconds=encode_seconds,
                       transfer_seconds=transfer_seconds,
                       decode_seconds=decode_seconds, state=state, report=report,
-                      payload=payload if task.keep_payload else None)
+                      payload=payload if task.keep_payload else None,
+                      decode_overlap_seconds=decode_overlap_seconds)
+
+
+def _stream_decode(task: ShipTask, payload: bytes):
+    """Streaming decode of one payload against its packet-arrival schedule.
+
+    Generator protocol: yields the simulated delay to wait before each packet
+    (only when the link injects real delays — the sync driver sleeps it, the
+    asyncio driver awaits it) and *returns* ``(state, decode_seconds,
+    overlap_seconds)``.
+
+    The overlap accounting is a busy-time model over the analytic schedule:
+    packet ``i`` starts decoding no earlier than its arrival and no earlier
+    than packet ``i-1`` finished, and ``finish()`` runs after the last packet.
+    ``overlap_seconds`` is the decode compute that fits before the last byte's
+    arrival — the part of Eqn. 1's ``t_D`` hidden inside ``S'/B``.  Every
+    recorded quantity is analytic or per-call wall time, never a function of
+    scheduling, so pooled and async drivers report identical semantics.
+    """
+    decoder = task.codec.stream_decoder()
+    schedule = task.network.packet_arrivals(len(payload), task.packet_bytes,
+                                            task.straggler_slowdown)
+    view = memoryview(payload)
+    busy_end = 0.0
+    total = 0.0
+    pos = 0
+    wall_start = time.perf_counter()
+    for end, arrival in schedule:
+        if task.network.simulate_delay:
+            yield max(0.0, arrival - (time.perf_counter() - wall_start))
+        start = time.perf_counter()
+        decoder.feed(view[pos:end])
+        elapsed = time.perf_counter() - start
+        pos = end
+        total += elapsed
+        busy_end = max(busy_end, arrival) + elapsed
+    start = time.perf_counter()
+    state, _ = decoder.finish()
+    elapsed = time.perf_counter() - start
+    total += elapsed
+    # decode work the transfer could not hide: everything past the last byte
+    residual = busy_end + elapsed - schedule[-1][1]
+    return state, total, max(0.0, total - residual)
+
+
+def _run_stream_decode(task: ShipTask, payload: bytes):
+    """Drive :func:`_stream_decode` synchronously (sleeping the delays)."""
+    steps = _stream_decode(task, payload)
+    try:
+        while True:
+            delay = next(steps)
+            if delay > 0:
+                time.sleep(delay)
+    except StopIteration as stop:
+        return stop.value
+
+
+async def _run_stream_decode_async(task: ShipTask, payload: bytes):
+    """Drive :func:`_stream_decode` on the event loop (awaiting the delays)."""
+    steps = _stream_decode(task, payload)
+    try:
+        while True:
+            # awaiting even a zero delay yields, so other uplinks' packets
+            # interleave with this decode exactly as on a real wire
+            await asyncio.sleep(next(steps))
+    except StopIteration as stop:
+        return stop.value
 
 
 def ship_update_task(task: ShipTask) -> ShipResult:
@@ -104,8 +202,33 @@ def ship_update_task(task: ShipTask) -> ShipResult:
     explicit argument struct so the process backend can ship it to a GIL-free
     worker; per-client compression statistics come from the codec's per-call
     reporting API, so they stay accurate at any worker count on any backend.
+
+    With ``task.streaming`` the decode runs through the codec's incremental
+    stream decoder paced by the link's packet schedule — same decoded bytes,
+    same recorded ``transfer_seconds``, plus the measured decode/transfer
+    overlap.  With ``task.state_handle`` the tensors are read from a
+    shared-memory arena instead of the (empty) pickled ``state``.
     """
+    if task.state_handle is not None:
+        view = task.state_handle.open()
+        try:
+            resolved = replace(task, state=view.arrays(), state_handle=None)
+            result = ship_update_task(resolved)
+            del resolved
+        finally:
+            try:
+                view.close()
+            except BufferError:
+                # a propagating exception's traceback still pins the arena
+                # views; the attachment dies with the worker process, and the
+                # segment itself is unlinked by its owning transport
+                pass
+        return result
     payload, report, encode_seconds, raw_bytes, transfer_seconds = _encode(task)
+    if task.streaming:
+        state, decode_seconds, overlap = _run_stream_decode(task, payload)
+        return _result(task, payload, report, encode_seconds, raw_bytes,
+                       transfer_seconds, state, decode_seconds, overlap)
     if task.network.simulate_delay:
         time.sleep(transfer_seconds)
     state, decode_seconds = _decode(task, payload)
@@ -148,18 +271,54 @@ class SimulatedTransport(Transport):
     name = "simulated"
 
     def __init__(self, backend: "str | ExecutionBackend" = "thread",
-                 max_workers: "int | None" = 1) -> None:
+                 max_workers: "int | None" = 1, streaming: bool = False,
+                 packet_bytes: int = DEFAULT_PACKET_BYTES) -> None:
+        if packet_bytes < 1:
+            raise ValueError("packet_bytes must be >= 1")
         self.backend = get_backend(backend)
         self.max_workers = max_workers
+        self.streaming = bool(streaming)
+        self.packet_bytes = int(packet_bytes)
+
+    def _configure(self, task: ShipTask) -> ShipTask:
+        """Stamp this transport's wire knobs onto a task (task wins if set)."""
+        if self.streaming and not task.streaming:
+            task = replace(task, streaming=True, packet_bytes=self.packet_bytes)
+        return task
 
     def ship(self, task: ShipTask) -> ShipResult:
-        return ship_update_task(task)
+        return ship_update_task(self._configure(task))
 
     def ship_batch(self, tasks: "list[ShipTask]") -> "list[ShipResult]":
-        return self.backend.map(ship_update_task, tasks, workers=self.max_workers)
+        tasks = [self._configure(task) for task in tasks]
+        if not self.backend.pickles_arguments:
+            return self.backend.map(ship_update_task, tasks, workers=self.max_workers)
+        # pickling backend: ship tensor buffers through one shared-memory
+        # arena per task instead of serializing them into the task pickle;
+        # the transport owns the segments and destroys them once every
+        # result (whose decoded state travels back by value) has returned
+        arenas: "list[SharedMemoryArena]" = []
+        try:
+            shipped = []
+            for task in tasks:
+                arena = SharedMemoryArena(task.state)
+                arenas.append(arena)
+                shipped.append(replace(task, state={}, state_handle=arena.handle))
+            return self.backend.map(ship_update_task, shipped, workers=self.max_workers)
+        finally:
+            for arena in arenas:
+                arena.close()
 
     async def ship_async(self, task: ShipTask) -> ShipResult:
+        task = self._configure(task)
         payload, report, encode_seconds, raw_bytes, transfer_seconds = _encode(task)
+        if task.streaming:
+            # per-packet awaits: the event loop runs other uplinks between
+            # this client's packets, and decode rides inside the gaps
+            state, decode_seconds, overlap = \
+                await _run_stream_decode_async(task, payload)
+            return _result(task, payload, report, encode_seconds, raw_bytes,
+                           transfer_seconds, state, decode_seconds, overlap)
         if task.network.simulate_delay:
             # the await is the whole point: the event loop runs other uplinks
             # (their codec work and their delays) while this transfer is in

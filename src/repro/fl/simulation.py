@@ -48,6 +48,10 @@ full-participation semantics, which the test suite pins bit-for-bit):
 * ``round_deadline_s`` / ``max_staleness`` — late-update triage; the default
   (no deadline) changes nothing.
 * ``overlap`` — ``"pool"`` (historic) or ``"async"`` (overlapped uplinks).
+* ``streaming`` — decode each update through the codec's incremental stream
+  decoder, fed on the link's analytic packet schedule so decompression
+  overlaps the transfer (bit-identical outputs; per-client overlap is
+  reported on ``ShipResult.decode_overlap_seconds``).
 
 ``seed=None`` now draws one fresh scenario seed and derives *everything*
 (partitioning, client seeds, scenario draws) from it, so even an unseeded run
@@ -106,7 +110,8 @@ class FederatedSimulation:
                  tree_fanout: int = 0,
                  journal_dir=None, resume: bool = False,
                  round_deadline_s: float | None = None,
-                 max_staleness: int = 0, overlap: str = "pool") -> None:
+                 max_staleness: int = 0, overlap: str = "pool",
+                 streaming: bool = False) -> None:
         if max_workers is not None and max_workers < 1:
             raise ValueError("max_workers must be >= 1")
         self.backend = get_backend(backend)  # unknown names raise ValueError
@@ -183,7 +188,8 @@ class FederatedSimulation:
         self.server = FedAvgServer(global_model, test_dataset, aggregator=aggregator)
 
         self.transport = SimulatedTransport(backend=self.backend,
-                                            max_workers=max_workers)
+                                            max_workers=max_workers,
+                                            streaming=streaming)
         self.coordinator = Coordinator(
             clients=self.clients, server=self.server, scheduler=self.scheduler,
             transport=self.transport, client_codecs=self.client_codecs,

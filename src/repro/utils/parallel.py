@@ -18,6 +18,16 @@ abstraction with three built-in implementations:
   contract: the mapped function must be a module-level callable and both its
   arguments and results must pickle.  Closures and lambdas are rejected by
   pickle itself.
+* ``subinterpreter`` — a :class:`~concurrent.futures.InterpreterPoolExecutor`
+  (PEP 734, Python 3.13+): one interpreter (and one GIL) per worker inside a
+  single process.  Registered on every interpreter so it is discoverable, but
+  running work on it raises a clean :class:`ValueError` when the executor
+  class is missing.  Same picklability contract as ``process``.
+
+Backends that pickle their arguments (``pickles_arguments`` trait) can ship
+large NumPy buffers through a :class:`SharedMemoryArena` instead: the caller
+packs arrays into one ``multiprocessing.shared_memory`` segment and hands
+tasks a small picklable :class:`ArenaHandle` naming where each array lives.
 
 Worker-count semantics are uniform across backends:
 
@@ -43,14 +53,24 @@ from __future__ import annotations
 
 import abc
 import os
+import sys
+from concurrent import futures
 from concurrent.futures import Executor, Future, ProcessPoolExecutor, ThreadPoolExecutor
-from typing import Callable, Iterable, Sequence, TypeVar
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Callable, Iterable, Mapping, Sequence, TypeVar
+
+import numpy as np
 
 __all__ = [
     "ExecutionBackend",
     "SerialBackend",
     "ThreadBackend",
     "ProcessBackend",
+    "SubinterpreterBackend",
+    "SharedMemoryArena",
+    "ArenaHandle",
+    "ArenaView",
     "available_backends",
     "get_backend",
     "register_backend",
@@ -111,6 +131,13 @@ class ExecutionBackend(abc.ABC):
     #: *returned* values travel back — callers that rely on side effects must
     #: re-absorb them from the results.
     shared_memory: bool = True
+
+    #: True when arguments and results cross a serialization (pickle)
+    #: boundary on their way to and from workers.  Call sites that would ship
+    #: large buffers check this trait and switch to a
+    #: :class:`SharedMemoryArena` handle; on in-process backends the arena is
+    #: pure overhead, so it stays off there.
+    pickles_arguments: bool = False
 
     @abc.abstractmethod
     def default_workers(self) -> int:
@@ -222,6 +249,7 @@ class ProcessBackend(ExecutionBackend):
 
     name = "process"
     shared_memory = False
+    pickles_arguments = True
 
     def default_workers(self) -> int:
         # one process per core: unlike threads there is nothing to overlap
@@ -246,6 +274,213 @@ class ProcessBackend(ExecutionBackend):
             return list(pool.map(func, items, chunksize=chunksize))
 
 
+class SubinterpreterBackend(ExecutionBackend):
+    """Per-subinterpreter execution (PEP 734) on Python 3.13+.
+
+    Each worker runs in its own interpreter — with its own GIL — inside one
+    process: GIL-free scaling like ``process`` with cheaper worker startup
+    and no fork.  The executor pickles tasks and arguments across the
+    interpreter boundary, so the picklability contract is exactly
+    :class:`ProcessBackend`'s (and ``pickles_arguments`` is set: arena
+    shipping applies here too).
+
+    The backend is registered on every interpreter so tooling can list it,
+    but :meth:`map` / :meth:`executor` raise :class:`ValueError` when
+    :class:`concurrent.futures.InterpreterPoolExecutor` is absent.
+    """
+
+    name = "subinterpreter"
+    shared_memory = False
+    pickles_arguments = True
+
+    @staticmethod
+    def supported() -> bool:
+        """True when this interpreter can create subinterpreter pools."""
+        return hasattr(futures, "InterpreterPoolExecutor")
+
+    def _require_support(self) -> None:
+        if not self.supported():
+            raise ValueError(
+                "the 'subinterpreter' backend requires Python >= 3.13 "
+                "(concurrent.futures.InterpreterPoolExecutor); this is "
+                f"Python {sys.version.split()[0]} — use 'process' instead")
+
+    def default_workers(self) -> int:
+        # like processes: one interpreter per core, nothing to overlap past
+        return os.cpu_count() or 1
+
+    def map(self, func: Callable[[T], R], items: Sequence[T],
+            workers: int | None = None, chunksize: int | None = None) -> list[R]:
+        # raise the version error even for the workers==1 sequential degrade:
+        # a backend that silently works single-worker but fails at 4 would be
+        # a debugging trap
+        self._require_support()
+        return super().map(func, items, workers=workers, chunksize=chunksize)
+
+    def executor(self, workers: int | None = None, n_items: int | None = None) -> Executor:
+        self._require_support()
+        return super().executor(workers, n_items)
+
+    def _make_executor(self, workers: int) -> Executor:
+        self._require_support()
+        return futures.InterpreterPoolExecutor(max_workers=workers)
+
+
+# ----------------------------------------------------------------------
+# Shared-memory shipping for pickling backends
+# ----------------------------------------------------------------------
+
+#: Arrays inside an arena segment start on this many bytes, so every view is
+#: as aligned as a freshly allocated ndarray.
+_ARENA_ALIGN = 64
+
+
+def _attach_segment(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without claiming ownership of it.
+
+    Attaching normally registers the segment with
+    ``multiprocessing.resource_tracker``, which unlinks it when *this*
+    process exits — destroying a segment the creating side still owns.
+    Python 3.13 grew ``track=False`` for exactly this; on older interpreters
+    the segment is unregistered immediately after attach.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python < 3.13: no track parameter
+        # Registering-then-unregistering is NOT equivalent: pool workers share
+        # the parent's tracker process, whose cache is a set keyed by name, so
+        # a worker's unregister message would erase the parent's own
+        # registration.  Suppress the registration instead.
+        from multiprocessing import resource_tracker
+        original = resource_tracker.register
+        resource_tracker.register = lambda *args, **kwargs: None
+        try:
+            return shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original
+
+
+@dataclass(frozen=True)
+class ArenaHandle:
+    """Picklable description of a :class:`SharedMemoryArena` segment.
+
+    Carries the segment name plus one ``(key, dtype, shape, offset)`` spec
+    per array — a few hundred bytes regardless of tensor sizes, which is the
+    point: tasks on a ``pickles_arguments`` backend ship this handle instead
+    of serialized copies of the buffers.
+    """
+
+    segment: str
+    specs: "tuple[tuple[str, str, tuple[int, ...], int], ...]"
+
+    def open(self) -> "ArenaView":
+        """Attach to the segment (typically inside a worker)."""
+        return ArenaView(self)
+
+    def load(self) -> "dict[str, np.ndarray]":
+        """Attach, copy every array out, detach — the simple safe accessor."""
+        with self.open() as view:
+            return view.arrays(copy=True)
+
+
+class ArenaView:
+    """A live attachment to an arena segment (context-managed).
+
+    ``arrays(copy=False)`` returns read-only zero-copy views into the shared
+    segment; they are valid only while the view is open, and every reference
+    to them must be dropped before :meth:`close` (an exported buffer turns
+    the detach into a :class:`BufferError`).  Use ``copy=True`` for arrays
+    that outlive the view.
+    """
+
+    def __init__(self, handle: ArenaHandle) -> None:
+        self._handle = handle
+        self._shm = _attach_segment(handle.segment)
+
+    def arrays(self, copy: bool = False) -> "dict[str, np.ndarray]":
+        """The packed arrays, keyed as they were packed (insertion order)."""
+        out: dict[str, np.ndarray] = {}
+        for key, dtype, shape, offset in self._handle.specs:
+            arr = np.ndarray(shape, dtype=np.dtype(dtype),
+                             buffer=self._shm.buf, offset=offset)
+            if copy:
+                arr = arr.copy()
+            else:
+                arr.flags.writeable = False
+            out[key] = arr
+        return out
+
+    def close(self) -> None:
+        self._shm.close()
+
+    def __enter__(self) -> "ArenaView":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class SharedMemoryArena:
+    """Ship NumPy buffers to pickling backends without pickling them.
+
+    Packs a mapping of arrays into one ``multiprocessing.shared_memory``
+    segment; the picklable :attr:`handle` names the segment and where each
+    array lives inside it, so a ``process`` (or ``subinterpreter``) task
+    receives kilobytes of metadata instead of a serialized copy of every
+    tensor.  Only worth using on backends with the ``pickles_arguments``
+    trait — in-process backends see the caller's arrays anyway.
+
+    Lifecycle: the creating side owns the segment.  It packs, hands
+    :attr:`handle` to its tasks, and calls :meth:`close` (or exits the
+    ``with`` block) once every task has finished.  Workers attach via
+    ``handle.open()`` / ``handle.load()``; attachment never registers with
+    the resource tracker, so a worker exiting cannot unlink the parent's
+    segment.
+    """
+
+    def __init__(self, arrays: "Mapping[str, np.ndarray]") -> None:
+        specs: list[tuple[str, str, tuple[int, ...], int]] = []
+        packed: list[tuple[int, np.ndarray]] = []
+        offset = 0
+        for key, arr in arrays.items():
+            arr = np.ascontiguousarray(arr)
+            offset = -(-offset // _ARENA_ALIGN) * _ARENA_ALIGN
+            specs.append((str(key), arr.dtype.str, tuple(arr.shape), offset))
+            packed.append((offset, arr))
+            offset += arr.nbytes
+        # SharedMemory rejects size=0; an empty arena still needs a segment
+        self._shm = shared_memory.SharedMemory(create=True, size=max(1, offset))
+        for off, arr in packed:
+            dest = np.ndarray(arr.shape, dtype=arr.dtype,
+                              buffer=self._shm.buf, offset=off)
+            dest[...] = arr
+            del dest  # release the buffer export before any close/unlink
+        self.handle = ArenaHandle(self._shm.name, tuple(specs))
+        self._closed = False
+
+    @property
+    def nbytes(self) -> int:
+        """Allocated segment size in bytes (alignment padding included)."""
+        return self._shm.size
+
+    def close(self) -> None:
+        """Detach and destroy the segment (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._shm.close()
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already unlinked
+            pass
+
+    def __enter__(self) -> "SharedMemoryArena":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
 _BACKENDS: dict[str, ExecutionBackend] = {}
 
 
@@ -260,6 +495,7 @@ def register_backend(backend: ExecutionBackend) -> ExecutionBackend:
 register_backend(SerialBackend())
 register_backend(ThreadBackend())
 register_backend(ProcessBackend())
+register_backend(SubinterpreterBackend())
 
 
 def available_backends() -> tuple[str, ...]:

@@ -65,7 +65,8 @@ def _spin(seconds: float) -> float:
 
 class TestRegistry:
     def test_builtin_backends_registered(self):
-        assert available_backends() == ("serial", "thread", "process")
+        assert available_backends() == ("serial", "thread", "process",
+                                        "subinterpreter")
 
     def test_get_backend_by_name_and_instance(self):
         thread = get_backend("thread")
@@ -363,3 +364,132 @@ class TestRemovedShim:
         assert repro.fl.map_parallel is map_parallel
         assert repro.fl.resolve_worker_count is resolve_worker_count
         assert repro.fl.train_clients_parallel is train_clients_parallel
+
+
+def _arena_sum(handle) -> float:
+    """Module-level arena reader for the cross-process shipping tests."""
+    with handle.open() as view:
+        arrays = view.arrays()
+        total = float(sum(a.sum() for a in arrays.values()))
+        del arrays  # the views must die before the attachment closes
+    return total
+
+
+class TestSubinterpreterBackend:
+    """Satellite: the PEP 734 backend registers everywhere but only runs on
+    interpreters that ship ``InterpreterPoolExecutor`` (Python 3.13+)."""
+
+    def test_registered_with_traits(self):
+        from repro.utils.parallel import SubinterpreterBackend
+
+        assert "subinterpreter" in available_backends()
+        backend = get_backend("subinterpreter")
+        assert isinstance(backend, SubinterpreterBackend)
+        assert backend.pickles_arguments
+        assert not backend.shared_memory
+        assert not backend.gil_bound
+
+    def test_pickles_arguments_trait_matrix(self):
+        assert get_backend("process").pickles_arguments
+        assert not get_backend("serial").pickles_arguments
+        assert not get_backend("thread").pickles_arguments
+
+    def test_unsupported_interpreter_raises_cleanly(self):
+        backend = get_backend("subinterpreter")
+        if backend.supported():
+            pytest.skip("this interpreter supports subinterpreter pools")
+        # even the workers=1 sequential degrade must raise: a backend that
+        # works single-worker but fails at 4 would be a debugging trap
+        with pytest.raises(ValueError, match="3.13"):
+            backend.map(_square, [1, 2, 3], workers=1)
+        with pytest.raises(ValueError, match="3.13"):
+            backend.executor(2)
+        with pytest.raises(ValueError, match="subinterpreter"):
+            map_parallel(_square, [1, 2], backend="subinterpreter")
+
+    def test_supported_interpreter_matches_serial(self):
+        backend = get_backend("subinterpreter")
+        if not backend.supported():
+            pytest.skip("requires Python >= 3.13 (InterpreterPoolExecutor)")
+        items = list(range(20))
+        assert backend.map(_square, items, workers=4) == [x * x for x in items]
+
+
+class TestSharedMemoryArena:
+    """Satellite: tensor shipping for pickling backends via one shared
+    segment and a tiny picklable handle."""
+
+    def _arrays(self):
+        rng = np.random.default_rng(9)
+        return {
+            "w": rng.normal(0, 1, (16, 8)).astype(np.float32),
+            "b": rng.normal(0, 1, 16).astype(np.float64),
+            "i": np.arange(10, dtype=np.int64),
+            "empty": np.zeros(0, dtype=np.float32),
+        }
+
+    def test_roundtrip_values_dtypes_shapes(self):
+        from repro.utils.parallel import SharedMemoryArena
+
+        arrays = self._arrays()
+        with SharedMemoryArena(arrays) as arena:
+            got = arena.handle.load()
+            assert list(got) == list(arrays)
+            for key in arrays:
+                np.testing.assert_array_equal(got[key], arrays[key])
+                assert got[key].dtype == arrays[key].dtype
+                assert got[key].shape == arrays[key].shape
+
+    def test_noncontiguous_input_packed_contiguously(self):
+        from repro.utils.parallel import SharedMemoryArena
+
+        strided = np.arange(20, dtype=np.float64)[::2]
+        with SharedMemoryArena({"s": strided}) as arena:
+            np.testing.assert_array_equal(arena.handle.load()["s"], strided)
+
+    def test_handle_is_small_and_picklable(self):
+        import pickle
+
+        from repro.utils.parallel import SharedMemoryArena
+
+        big = {"big": np.zeros((512, 512), dtype=np.float64)}
+        with SharedMemoryArena(big) as arena:
+            blob = pickle.dumps(arena.handle)
+            assert len(blob) < 1024  # metadata only, never the buffers
+            np.testing.assert_array_equal(
+                pickle.loads(blob).load()["big"], big["big"])
+
+    def test_views_are_readonly_copies_are_not(self):
+        from repro.utils.parallel import SharedMemoryArena
+
+        with SharedMemoryArena({"x": np.ones(4)}) as arena:
+            with arena.handle.open() as view:
+                zero_copy = view.arrays()["x"]
+                assert not zero_copy.flags.writeable
+                copied = view.arrays(copy=True)["x"]
+                assert copied.flags.writeable
+                del zero_copy
+            copied[0] = 7.0  # the copy survives the view
+
+    def test_close_is_idempotent(self):
+        from repro.utils.parallel import SharedMemoryArena
+
+        arena = SharedMemoryArena({"x": np.ones(4)})
+        arena.close()
+        arena.close()
+
+    def test_empty_mapping(self):
+        from repro.utils.parallel import SharedMemoryArena
+
+        with SharedMemoryArena({}) as arena:
+            assert arena.handle.load() == {}
+
+    def test_cross_process_shipping(self):
+        from repro.utils.parallel import SharedMemoryArena
+
+        arrays = self._arrays()
+        expected = float(sum(a.sum() for a in arrays.values()))
+        with SharedMemoryArena(arrays) as arena:
+            results = map_parallel(_arena_sum, [arena.handle] * 3,
+                                   backend="process", max_workers=2)
+        assert results == [expected] * 3
