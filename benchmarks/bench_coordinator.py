@@ -13,6 +13,10 @@ Three drills over an 8-client FedAvg run on a simulated 2 Mbps uplink:
   A third leg re-runs the async path with ``streaming=True`` so each update
   decodes incrementally as its simulated packets arrive — same bit-identity
   requirement.
+* **persistent vs fresh** — run the same rounds under the persistent runtime
+  (one long-lived 4-worker pool, worker-resident clients) and under the
+  historic fresh-pool-per-map path; the records must match bit-for-bit, and
+  pool spinups plus per-client pickled train-task bytes are reported.
 * **kill-and-resume** (``--kill-resume``) — launch a journaled run in a child
   process that hard-exits mid-round (``REPRO_JOURNAL_CRASH_AFTER``), resume it
   from the journal, and require the combined result to match an uninterrupted
@@ -32,6 +36,7 @@ from __future__ import annotations
 
 import argparse
 import os
+import pickle
 import subprocess
 import sys
 import tempfile
@@ -45,8 +50,10 @@ sys.path.insert(0, str(Path(__file__).resolve().parent))
 from bench_utils import fl_settings, quick_fl_data, save_results
 from repro.core import NetworkModel
 from repro.fl import FederatedSimulation, RawUpdateCodec, TreeAggregator, fedavg_aggregate
+from repro.fl.coordinator.coordinator import TrainTask
 from repro.metrics import ExperimentRecord, Table
 from repro.nn import build_model
+from repro.utils.parallel import SharedMemoryArena, get_backend
 
 N_CLIENTS = 8
 ROUNDS = 2
@@ -136,6 +143,37 @@ def _run_overlap_drill(train, test, cfg, backend: str):
     return walls, results
 
 
+def _run_persistent_drill(train, test, cfg, backend: str) -> dict:
+    """Persistent runtime vs fresh pools: bit-identity, spinups, task bytes."""
+    exec_backend = get_backend(backend)
+    runs, walls, spinups = {}, {}, {}
+    for label, persistent in (("persistent", True), ("fresh", False)):
+        sim = _build_simulation(train, test, cfg, backend=backend,
+                                max_workers=4, persistent=persistent)
+        before = exec_backend.pool_spinups
+        start = time.perf_counter()
+        runs[label] = sim.run(ROUNDS)
+        walls[label] = time.perf_counter() - start
+        spinups[label] = exec_backend.pool_spinups - before
+    assert _deterministic_fields(runs["persistent"]) == \
+        _deterministic_fields(runs["fresh"]), \
+        "persistent runtime diverged from the fresh-pool path"
+
+    client = sim.clients[0]
+    global_state = sim.server.global_state()
+    full_bytes = len(pickle.dumps(TrainTask(
+        client_id=client.client_id, epochs=1, round_index=0,
+        global_state=global_state, client=client)))
+    with SharedMemoryArena(global_state) as arena:
+        resident_bytes = len(pickle.dumps(TrainTask(
+            client_id=client.client_id, epochs=1, round_index=0,
+            state_handle=arena.handle, fleet=("bench", 0))))
+    assert resident_bytes < full_bytes
+    return {"walls": walls, "spinups": spinups,
+            "full_task_bytes": full_bytes,
+            "resident_task_bytes": resident_bytes}
+
+
 def _run_kill_resume_drill(backend: str) -> dict:
     """Kill a journaled child mid-round, resume, compare to uninterrupted."""
     with tempfile.TemporaryDirectory(prefix="fedsz-journal-") as journal_dir:
@@ -193,6 +231,7 @@ def _check_and_report(backend: str, persist: bool, assert_speedup: bool,
 
     tree_rows = _run_tree_drill(train, test, cfg, backend)
     walls, results = _run_overlap_drill(train, test, cfg, backend)
+    persistent = _run_persistent_drill(train, test, cfg, backend)
 
     table = Table(f"Coordinator services ({backend} backend) - {N_CLIENTS} "
                   f"clients, {ROUNDS} rounds, {BANDWIDTH_MBPS:g} Mbps simulated uplink",
@@ -210,6 +249,15 @@ def _check_and_report(backend: str, persist: bool, assert_speedup: bool,
                           _deterministic_fields(results["pool"])))
         record.add(drill=f"uplinks-{label}", wall_seconds=walls[label],
                    final_accuracy=results[label].final_accuracy)
+    for label in ("persistent", "fresh"):
+        table.add_row(f"runtime {label} "
+                      f"({persistent['spinups'][label]} pool spinups)",
+                      f"{persistent['walls'][label]:.2f}", "True")
+        record.add(drill=f"runtime-{label}",
+                   wall_seconds=persistent["walls"][label],
+                   pool_spinups=persistent["spinups"][label])
+    record.add(full_task_bytes=persistent["full_task_bytes"],
+               resident_task_bytes=persistent["resident_task_bytes"])
     if kill_resume:
         resume_stats = _run_kill_resume_drill(backend)
         table.add_row("kill-and-resume", "-", "True")

@@ -37,7 +37,7 @@ from repro.core import (
 from repro.data import make_dataset, train_test_split
 from repro.fl import FederatedSimulation, FedSZUpdateCodec, RawUpdateCodec
 from repro.nn import available_models, build_model, count_parameters
-from repro.utils.parallel import available_backends
+from repro.utils.parallel import available_backends, get_backend
 from repro.utils.timer import format_bytes, format_seconds
 
 __all__ = ["main", "build_parser"]
@@ -97,6 +97,11 @@ def _add_plan_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--small-tensor-codec", default="szx",
                         help="codec for tensors below the mixed-codec size cutoff "
                              "(only used with --policy mixed-codec)")
+    parser.add_argument("--profile-cache", default=None, metavar="PATH",
+                        help="persist the profiled policy's measurement cache "
+                             "to this JSON file (format in FORMATS.md): warm "
+                             "runs reuse measurements until the sampled "
+                             "statistics drift; requires --policy profiled")
 
 
 def _fedsz_config(args: argparse.Namespace, **extra) -> FedSZConfig:
@@ -107,6 +112,10 @@ def _fedsz_config(args: argparse.Namespace, **extra) -> FedSZConfig:
     one-line CLI error.
     """
     policy_options = dict(extra.pop("policy_options", {}))
+    profile_cache = getattr(args, "profile_cache", None)
+    if profile_cache is not None and args.policy != "profiled":
+        raise ValueError("--profile-cache requires --policy profiled "
+                         "(only the profiled policy measures anything)")
     if args.policy == "mixed-codec":
         policy_options.setdefault("small_codec", args.small_tensor_codec)
     elif args.policy == "profiled":
@@ -114,6 +123,8 @@ def _fedsz_config(args: argparse.Namespace, **extra) -> FedSZConfig:
         # keeps CLI runs reproducible on any host
         policy_options.setdefault("bandwidth_mbps", args.bandwidth)
         policy_options.setdefault("max_bound", args.bound)
+        if profile_cache is not None:
+            policy_options.setdefault("profile_cache", profile_cache)
     return FedSZConfig(error_bound=args.bound, entropy_chunk=args.entropy_chunk,
                        entropy_workers=args.entropy_workers, policy=args.policy,
                        pipeline_workers=args.pipeline_workers,
@@ -204,8 +215,11 @@ def _cmd_compress(args: argparse.Namespace) -> int:
     except ValueError as exc:
         print(f"repro compress: error: {exc}", file=sys.stderr)
         return 2
-    payload, report = fedsz.compress_with_report(state)
-    restored, decode_report = fedsz.decompress_with_report(payload)
+    # one long-lived pool serves the whole roundtrip (pipeline fan-out,
+    # Huffman bands, profiler grid) instead of one pool per stage
+    with get_backend(config.backend).persistent(config.pipeline_workers):
+        payload, report = fedsz.compress_with_report(state)
+        restored, decode_report = fedsz.decompress_with_report(payload)
 
     worst = max((float(np.max(np.abs(restored[k].astype(np.float64) - v.astype(np.float64))))
                  for k, v in state.items() if v.size), default=0.0)
@@ -217,6 +231,11 @@ def _cmd_compress(args: argparse.Namespace) -> int:
     print(f"compress time:    {format_seconds(report.compress_seconds)}")
     print(f"decompress time:  {format_seconds(decode_report.decompress_seconds)}")
     print(f"plan:             {args.policy} policy, codecs: {codecs}")
+    profiler = getattr(fedsz.policy, "profiler", None)
+    if profiler is not None:
+        info = profiler.cache_info()
+        print(f"profile cache:    {info['hits']} hits / {info['misses']} misses "
+              f"/ {info['drifts']} drifts")
     print(f"max abs error:    {worst:.3e}  (bound {args.bound:g} relative)")
     return 0
 
@@ -285,6 +304,11 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             link = fedsz_sim.client_networks[cid]
             print(f"  client {cid}: {link.bandwidth_mbps:8.1f} Mbps -> "
                   f"codecs {', '.join(plan.codecs)}")
+    profiler = last_sims["fedsz"].codec.profiler
+    if profiler is not None:
+        info = profiler.cache_info()
+        print(f"profile cache:  {info['hits']} hits / {info['misses']} misses "
+              f"/ {info['drifts']} drifts")
 
     raw, fedsz = results["uncompressed"], results["fedsz"]
     print(f"\nfinal accuracy: uncompressed {raw.final_accuracy:.2%} vs fedsz {fedsz.final_accuracy:.2%}")

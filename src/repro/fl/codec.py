@@ -125,6 +125,13 @@ class UpdateCodec(abc.ABC):
         """
         return UpdateStreamDecoder(self)
 
+    @property
+    def profiler(self) -> "object | None":
+        """The :class:`~repro.core.profiling.CodecProfiler` behind this codec's
+        plan policy, or ``None`` when plans are not profiler-driven.  The
+        coordinator reads its cache counters into each ``RoundRecord``."""
+        return None
+
 
 class RawUpdateCodec(UpdateCodec):
     """Uncompressed baseline: packed float32 tensors, no reduction."""
@@ -180,6 +187,11 @@ class FedSZUpdateCodec(UpdateCodec):
     def stream_decoder(self) -> _FedSZUpdateStreamDecoder:
         """An incremental decoder running the streaming FedSZ pipeline."""
         return _FedSZUpdateStreamDecoder(self.compressor)
+
+    @property
+    def profiler(self) -> "object | None":
+        """The plan policy's shared :class:`CodecProfiler`, if it has one."""
+        return getattr(self.compressor.policy, "profiler", None)
 
     @property
     def last_report(self) -> FedSZReport | None:

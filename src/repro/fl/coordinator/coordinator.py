@@ -28,8 +28,11 @@ interrupted round re-derives its plan, replays already-shipped payloads
 from __future__ import annotations
 
 import asyncio
+import contextlib
+import itertools
+import os
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Sequence
 
 import numpy as np
@@ -38,35 +41,81 @@ from repro.core.network import round_communication_time
 from repro.fl.client import ClientUpdate, FLClient
 from repro.fl.coordinator.journal import JournalState, RoundJournal, ShippedEvent
 from repro.fl.coordinator.records import RoundRecord, SimulationResult
+from repro.fl.coordinator.residency import (discard_fleet, install_fleet,
+                                            resident_client)
 from repro.fl.coordinator.scheduler import RoundScheduler, StalenessPolicy
 from repro.fl.coordinator.transport import ShipResult, ShipTask, Transport
-from repro.utils.parallel import ExecutionBackend, get_backend
+from repro.utils.parallel import (ArenaHandle, ExecutionBackend,
+                                  SharedMemoryArena, get_backend)
 
 # NOTE: fl/server.py imports the aggregation kernel from this package, so this
 # module must not import fl.server back at runtime — the server below is typed
 # by its duck interface (global_state / aggregate / evaluate / model).
 
-__all__ = ["Coordinator", "train_clients_parallel", "OVERLAP_MODES"]
+__all__ = ["Coordinator", "TrainTask", "train_clients_parallel", "OVERLAP_MODES"]
 
 #: how a round's uplinks share time: "pool" fans ship tasks over the execution
 #: backend (the historic path); "async" holds every uplink in flight on one
 #: event loop, simulated delays becoming awaits
 OVERLAP_MODES = ("pool", "async")
 
+#: resident-fleet tokens are unique per (process, coordinator scope) so two
+#: concurrent coordinators in one process can never collide
+_FLEET_COUNTER = itertools.count()
 
-def _train_client_task(task: "tuple[FLClient, dict, int, int]") -> ClientUpdate:
-    """Broadcast-and-train one client: ``(client, global_state, epochs, round)``.
+
+@dataclass
+class TrainTask:
+    """Picklable argument struct for :func:`_train_client_task`.
+
+    Same contract as the transport's :class:`ShipTask`: a module-level task
+    function over an explicit struct, so the process backend's picklability
+    contract holds by construction.  Exactly one of two client forms is set —
+
+    * ``client`` — the full-ship path: the :class:`FLClient` (dataset shard
+      included) travels inside the task, paying O(shard bytes) of pickling
+      per client per round on pickling backends;
+    * ``fleet`` — the worker-resident path: a ``(token, generation)``
+      reference into the fleet a persistent pool's initializer installed
+      (:mod:`repro.fl.coordinator.residency`), so the task ships O(model
+      state) only —
+
+    and the broadcast global state arrives either inline (``global_state``)
+    or, on ``pickles_arguments`` backends, as a :class:`ArenaHandle` into one
+    shared-memory segment the coordinator packs once per round
+    (``state_handle``).
+    """
+
+    client_id: int
+    epochs: int
+    round_index: int
+    global_state: "dict[str, np.ndarray] | None" = None
+    state_handle: "ArenaHandle | None" = None
+    client: "FLClient | None" = None
+    fleet: "tuple[str, int] | None" = field(default=None, repr=False)
+
+
+def _train_client_task(task: TrainTask) -> ClientUpdate:
+    """Broadcast-and-train one client from a :class:`TrainTask`.
 
     Module-level and picklable for the process backend.  The broadcast happens
     inside the task (clients are independent, so receive-then-train per client
     is bit-identical to a global broadcast followed by training), and the
     updated state travels back in the returned :class:`ClientUpdate` — the
     caller re-absorbs it into its own replica when the backend does not share
-    memory.  A historic three-element task (no round index) trains as round 0.
+    memory.  Arena-shipped state is handed to ``receive_global`` as read-only
+    views — safe because ``Module.load_state_dict`` copies every array.
     """
-    client, global_state, epochs, round_index = task if len(task) == 4 else (*task, 0)
-    client.receive_global(global_state)
-    return client.train_local(epochs=epochs, round_index=round_index)
+    client = task.client
+    if client is None:
+        token, generation = task.fleet
+        client = resident_client(token, generation, task.client_id)
+    if task.state_handle is not None:
+        with task.state_handle.open() as view:
+            client.receive_global(view.arrays())
+    else:
+        client.receive_global(task.global_state)
+    return client.train_local(epochs=task.epochs, round_index=task.round_index)
 
 
 def train_clients_parallel(clients: Sequence[FLClient], global_state: dict,
@@ -83,11 +132,18 @@ def train_clients_parallel(clients: Sequence[FLClient], global_state: dict,
     same state.  ``round_index`` is mixed into each client's batch-shuffle seed
     so successive rounds see fresh batch orders (round 0 reproduces the
     historic order).
+
+    This is the full-ship path: every task carries its client.  The
+    coordinator's persistent runtime replaces it with worker-resident tasks
+    (see :meth:`Coordinator.persistent_runtime`) — bit-identically, since
+    training is a pure function of ``(global_state, shard, seed, round)``.
     """
     exec_backend = get_backend(backend)
     updates = exec_backend.map(
         _train_client_task,
-        [(client, global_state, epochs, round_index) for client in clients],
+        [TrainTask(client_id=client.client_id, epochs=epochs,
+                   round_index=round_index, global_state=global_state,
+                   client=client) for client in clients],
         workers=max_workers)
     if not exec_backend.shared_memory:
         for client, update in zip(clients, updates):
@@ -117,6 +173,21 @@ class _LateUpdate:
     num_samples: int
 
 
+@dataclass
+class _ResidentFleet:
+    """Book-keeping for the fleet installed in a persistent scope's workers.
+
+    ``signature`` is the roster fingerprint the fleet was installed under;
+    ``active`` flips to False when the roster changes on a backend whose live
+    pool cannot re-run initializers (see ``Coordinator._refresh_residency``).
+    """
+
+    token: str
+    generation: int
+    signature: tuple
+    active: bool = True
+
+
 class Coordinator:
     """Runs federated rounds by composing the coordinator services.
 
@@ -136,7 +207,8 @@ class Coordinator:
                  round_deadline_s: "float | None" = None,
                  staleness: "StalenessPolicy | None" = None,
                  journal: "RoundJournal | None" = None,
-                 journal_state: "JournalState | None" = None) -> None:
+                 journal_state: "JournalState | None" = None,
+                 persistent: bool = True) -> None:
         if overlap not in OVERLAP_MODES:
             raise ValueError(f"overlap must be one of {OVERLAP_MODES}, got {overlap!r}")
         if round_deadline_s is not None and round_deadline_s <= 0:
@@ -157,6 +229,8 @@ class Coordinator:
         self.round_deadline_s = round_deadline_s
         self.staleness = staleness if staleness is not None else StalenessPolicy()
         self.journal = journal
+        self.persistent = bool(persistent)
+        self._resident: "_ResidentFleet | None" = None
 
         self._run_started = False
         self._completed: "list[RoundRecord]" = []
@@ -229,6 +303,143 @@ class Coordinator:
             return list(asyncio.run(_all_uplinks()))
         return self.transport.ship_batch(tasks)
 
+    # -- persistent runtime -------------------------------------------------
+    @contextlib.contextmanager
+    def persistent_runtime(self):
+        """Scope that backs every round with one pool and resident clients.
+
+        Entering the scope spins the execution backend's persistent pool up
+        once (:meth:`ExecutionBackend.persistent`), installing the client
+        fleet into every worker via the pool initializer on
+        ``pickles_arguments`` backends — so each round's train tasks ship
+        O(model state) instead of O(dataset shard).  The fleet is *also*
+        installed in the calling process, which is what thread workers and
+        inline degrades (``serial``, one resolved worker, nested process
+        workers) resolve against.
+
+        Re-entrant calls and ``persistent=False`` coordinators are no-ops, so
+        :meth:`run` can always wrap its round loop.  On exit the pool is torn
+        down and the fleet discarded; tasks must not outlive the scope.
+        """
+        if not self.persistent or self._resident is not None:
+            yield
+            return
+        token = f"fleet-{os.getpid()}-{next(_FLEET_COUNTER)}"
+        roster = {client.client_id: client for client in self.clients}
+        install_fleet(token, 0, roster)
+        initializer = install_fleet if self.backend.pickles_arguments else None
+        initargs = (token, 0, roster) if initializer is not None else ()
+        self._resident = _ResidentFleet(token=token, generation=0,
+                                        signature=self._roster_signature())
+        try:
+            with self.backend.persistent(self.max_workers,
+                                         initializer=initializer,
+                                         initargs=initargs):
+                yield
+        finally:
+            self._resident = None
+            discard_fleet(token)
+
+    def _roster_signature(self) -> tuple:
+        """Fingerprint of the client roster the resident fleet mirrors.
+
+        Identity-based on purpose: replacing a client (or its dataset shard)
+        with a different object must invalidate residency even if the new one
+        compares equal, because the workers hold copies of the *old* objects.
+        """
+        return tuple((client.client_id, id(client), id(client.dataset))
+                     for client in self.clients)
+
+    def _refresh_residency(self, resident: _ResidentFleet) -> None:
+        """Reconcile the resident fleet with a changed client roster.
+
+        Shared-memory backends re-install under a bumped generation (cheap —
+        the registry holds references, not copies).  Pickling backends cannot
+        re-run initializers in a live pool, so residency deactivates and the
+        remaining rounds fall back to full-client tasks — still over the
+        persistent pool, so only the O(shard) shipping saving is lost.
+        """
+        signature = self._roster_signature()
+        if signature == resident.signature:
+            return
+        if self.backend.pickles_arguments:
+            resident.active = False
+        else:
+            resident.generation += 1
+            install_fleet(resident.token, resident.generation,
+                          {client.client_id: client for client in self.clients})
+        resident.signature = signature
+
+    def _train_round(self, fresh_ids: "list[int]", global_state: dict,
+                     round_index: int) -> "list[ClientUpdate]":
+        """Train this round's fresh participants, resident when possible."""
+        if not fresh_ids:
+            return []
+        resident = self._resident
+        if resident is not None:
+            self._refresh_residency(resident)
+            if resident.active:
+                return self._train_resident(fresh_ids, global_state, round_index)
+        return train_clients_parallel(
+            [self.clients[cid] for cid in fresh_ids], global_state,
+            epochs=self.local_epochs, max_workers=self.max_workers,
+            backend=self.backend, round_index=round_index)
+
+    def _train_resident(self, fresh_ids: "list[int]", global_state: dict,
+                        round_index: int) -> "list[ClientUpdate]":
+        """Worker-resident training: tasks reference the installed fleet.
+
+        On ``pickles_arguments`` backends the broadcast state is packed into
+        one :class:`SharedMemoryArena` per round and tasks carry only its
+        handle, so the per-round pickle cost is O(task metadata).  Bit-
+        identical to :func:`train_clients_parallel` because training is a pure
+        function of ``(global_state, shard, seed, round_index)``.
+        """
+        resident = self._resident
+        fleet = (resident.token, resident.generation)
+        arena = SharedMemoryArena(global_state) \
+            if self.backend.pickles_arguments else None
+        try:
+            tasks = [
+                TrainTask(client_id=cid, epochs=self.local_epochs,
+                          round_index=round_index,
+                          global_state=None if arena is not None else global_state,
+                          state_handle=arena.handle if arena is not None else None,
+                          fleet=fleet)
+                for cid in fresh_ids
+            ]
+            updates = self.backend.map(_train_client_task, tasks,
+                                       workers=self.max_workers)
+        finally:
+            if arena is not None:
+                arena.close()
+        if not self.backend.shared_memory:
+            for cid, update in zip(fresh_ids, updates):
+                self.clients[cid].receive_global(update.state)
+        return updates
+
+    def _profile_cache_counters(self) -> "dict[str, int] | None":
+        """Fleet-wide profiler cache counters, or None without profilers.
+
+        Client codecs that expose a ``profiler`` (the ``profiled`` policy)
+        usually share one instance across the fleet, so profilers are deduped
+        by identity before summing their :meth:`cache_info` counters.
+        """
+        profilers, seen = [], set()
+        for codec in self.client_codecs:
+            profiler = getattr(codec, "profiler", None)
+            if profiler is not None and id(profiler) not in seen:
+                seen.add(id(profiler))
+                profilers.append(profiler)
+        if not profilers:
+            return None
+        totals = {"hits": 0, "misses": 0, "drifts": 0, "profiles": 0}
+        for profiler in profilers:
+            info = profiler.cache_info()
+            for key in totals:
+                totals[key] += int(info.get(key, 0))
+        return totals
+
     def run_round(self, round_index: int) -> RoundRecord:
         """Execute one communication round and return its measurements."""
         self._ensure_run_started()
@@ -251,11 +462,7 @@ class Coordinator:
 
         straggler_set = set(plan.stragglers)
         fresh_ids = [cid for cid in plan.participants if cid not in replayed]
-        active = [self.clients[cid] for cid in fresh_ids]
-        updates = train_clients_parallel(
-            active, global_state, epochs=self.local_epochs,
-            max_workers=self.max_workers, backend=self.backend,
-            round_index=round_index) if active else []
+        updates = self._train_round(fresh_ids, global_state, round_index)
 
         keep_payload = self.journal is not None
         tasks = [
@@ -355,6 +562,7 @@ class Coordinator:
             late_clients=list(late_ids),
             absorbed_clients={late.client_id: late.origin_round
                               for late in admitted},
+            profile_cache=self._profile_cache_counters(),
         )
         if self.journal is not None:
             self.journal.complete_round(record, self.server.global_state())
@@ -368,6 +576,9 @@ class Coordinator:
         """
         result = SimulationResult(codec_name=self.codec_name)
         result.rounds.extend(self._completed[:n_rounds])
-        for round_index in range(len(result.rounds), n_rounds):
-            result.rounds.append(self.run_round(round_index))
+        if len(result.rounds) >= n_rounds:
+            return result
+        with self.persistent_runtime():
+            for round_index in range(len(result.rounds), n_rounds):
+                result.rounds.append(self.run_round(round_index))
         return result

@@ -52,6 +52,11 @@ full-participation semantics, which the test suite pins bit-for-bit):
   decoder, fed on the link's analytic packet schedule so decompression
   overlaps the transfer (bit-identical outputs; per-client overlap is
   reported on ``ShipResult.decode_overlap_seconds``).
+* ``persistent`` — ``True`` (default) backs :meth:`run` with one long-lived
+  worker pool for the whole run and, on pickling backends, worker-resident
+  client shards (train tasks ship O(model state), not O(dataset shard));
+  ``False`` restores the historic fresh-pool-per-map path.  Bit-identical
+  either way.
 
 ``seed=None`` now draws one fresh scenario seed and derives *everything*
 (partitioning, client seeds, scenario draws) from it, so even an unseeded run
@@ -111,7 +116,7 @@ class FederatedSimulation:
                  journal_dir=None, resume: bool = False,
                  round_deadline_s: float | None = None,
                  max_staleness: int = 0, overlap: str = "pool",
-                 streaming: bool = False) -> None:
+                 streaming: bool = False, persistent: bool = True) -> None:
         if max_workers is not None and max_workers < 1:
             raise ValueError("max_workers must be >= 1")
         self.backend = get_backend(backend)  # unknown names raise ValueError
@@ -199,7 +204,8 @@ class FederatedSimulation:
             backend=self.backend, max_workers=max_workers, overlap=overlap,
             round_deadline_s=round_deadline_s,
             staleness=StalenessPolicy(max_staleness=max_staleness),
-            journal=self.journal, journal_state=journal_state)
+            journal=self.journal, journal_state=journal_state,
+            persistent=persistent)
 
     # ------------------------------------------------------------------
     @property

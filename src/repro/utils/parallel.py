@@ -44,6 +44,28 @@ worker (e.g. a pipeline worker whose entropy stage also asks for processes)
 degrades to sequential execution in that worker instead of forking
 grandchildren.
 
+Pools are per-call by default — every :meth:`~ExecutionBackend.map` spins one
+up and tears it down.  Call sites that fan out repeatedly (a federated run
+maps training and shipping every round) wrap the whole run in
+:meth:`ExecutionBackend.persistent`, a scope backed by one long-lived pool:
+
+* inside the scope, ``map``/``executor`` calls **from the thread that entered
+  it** reuse the scope's pool (``executor`` returns a non-owning view whose
+  ``shutdown`` is a no-op, so ``with`` blocks cannot kill the shared pool);
+* calls from *other* threads — e.g. a nested fan-out issued inside a pool
+  worker — keep the historic fresh-pool/sequential behaviour, which is what
+  makes the scope deadlock-free by construction;
+* ``serial`` (or a resolved worker count of 1) degrades to a no-op scope;
+* an optional ``initializer(*initargs)`` runs once per worker as it spawns
+  (and re-runs if a crashed process worker is respawned) — the hook the
+  federated coordinator uses to install worker-resident client state once per
+  run instead of shipping it with every task.
+
+Every real pool construction (persistent or per-call) increments the
+backend's ``pool_spinups`` counter, so benchmarks can show how many pools a
+workload paid for.
+
+
 This module is dependency-free on purpose: it sits below ``repro.fl``,
 ``repro.core``, and ``repro.compressors`` in the layering, so every side can
 import it without cycles.
@@ -52,8 +74,10 @@ import it without cycles.
 from __future__ import annotations
 
 import abc
+import contextlib
 import os
 import sys
+import threading
 from concurrent import futures
 from concurrent.futures import Executor, Future, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
@@ -68,6 +92,7 @@ __all__ = [
     "ThreadBackend",
     "ProcessBackend",
     "SubinterpreterBackend",
+    "PersistentPool",
     "SharedMemoryArena",
     "ArenaHandle",
     "ArenaView",
@@ -91,6 +116,18 @@ def _mark_process_worker() -> None:
     os.environ[_PROCESS_WORKER_ENV] = "1"
 
 
+def _process_worker_init(initializer=None, initargs=()) -> None:
+    """Process-pool initializer: mark the worker, then run the caller's hook.
+
+    Module-level so it pickles; ``initializer`` and ``initargs`` ride along as
+    ``initargs`` of the real :class:`ProcessPoolExecutor`, which is exactly
+    where a persistent scope ships its once-per-worker state.
+    """
+    _mark_process_worker()
+    if initializer is not None:
+        initializer(*initargs)
+
+
 def _in_process_worker() -> bool:
     return os.environ.get(_PROCESS_WORKER_ENV) == "1"
 
@@ -107,17 +144,74 @@ class _SerialExecutor(Executor):
         return future
 
 
+class PersistentPool:
+    """A live :meth:`ExecutionBackend.persistent` scope: one long-lived pool.
+
+    ``map`` mirrors :meth:`ExecutionBackend.map`'s ordered semantics on the
+    shared executor; a task exception propagates to the caller and leaves the
+    pool usable for subsequent maps (both thread and process pools survive
+    task failures — only an unpicklable task or a worker hard-crash breaks a
+    process pool).  ``maps`` counts dispatches through the scope, the
+    observable evidence that call sites reused the pool instead of spinning
+    fresh ones.
+    """
+
+    def __init__(self, executor: Executor, workers: int) -> None:
+        self.executor = executor
+        self.workers = workers
+        #: number of map() calls served by this scope's pool
+        self.maps = 0
+
+    def map(self, func: Callable[[T], R], items: "list[T]",
+            chunksize: int | None = None) -> "list[R]":
+        if chunksize is None:
+            # same batching as the per-call process path: about four task
+            # dispatches deep per worker (thread pools ignore chunksize)
+            chunksize = max(1, len(items) // (self.workers * 4))
+        self.maps += 1
+        return list(self.executor.map(func, items, chunksize=chunksize))
+
+
+class _ScopedExecutor(Executor):
+    """Non-owning view of a persistent pool.
+
+    Returned by :meth:`ExecutionBackend.executor` inside a persistent scope so
+    the ubiquitous ``with backend.executor(...) as pool:`` idiom keeps working:
+    ``shutdown`` (and therefore ``__exit__``) is a no-op — the scope, not the
+    call site, owns the pool's lifetime.
+    """
+
+    def __init__(self, executor: Executor) -> None:
+        self._executor = executor
+
+    def submit(self, fn, /, *args, **kwargs) -> Future:
+        return self._executor.submit(fn, *args, **kwargs)
+
+    def map(self, fn, *iterables, **kwargs):
+        return self._executor.map(fn, *iterables, **kwargs)
+
+    def shutdown(self, wait: bool = True, *, cancel_futures: bool = False) -> None:
+        pass
+
+
 class ExecutionBackend(abc.ABC):
     """One way of running independent work items: serial, threads, or processes.
 
-    Backends are stateless and picklable; pools live only for the duration of
-    a single :meth:`map` or :meth:`executor` call, so instances are safe to
-    share between threads and to embed in compressor objects that cross a
-    process boundary themselves.
+    Backends are (almost) stateless and picklable; pools live only for the
+    duration of a single :meth:`map` or :meth:`executor` call — unless the
+    caller opens a :meth:`persistent` scope, whose one long-lived pool backs
+    every ``map``/``executor`` call issued *from the entering thread* for the
+    scope's lifetime.  The scope bookkeeping is thread-local and dropped on
+    pickling, so instances remain safe to share between threads and to embed
+    in compressor objects that cross a process boundary themselves.
     """
 
     #: registry key; also what ``repr`` and the CLI show
     name: str = "base"
+
+    #: real (non-serial) executor pools this instance has constructed — the
+    #: per-round fixed cost the persistent scope exists to amortize away
+    pool_spinups: int = 0
 
     #: True when workers contend for one GIL (threads): pure-CPU call sites
     #: clamp their fan-out to the physical cores on such backends, because
@@ -156,15 +250,99 @@ class ExecutionBackend(abc.ABC):
         return max(1, min(workers, n_items))
 
     @abc.abstractmethod
-    def _make_executor(self, workers: int) -> Executor:
-        """A fresh executor with ``workers`` slots (``submit`` semantics)."""
+    def _make_executor(self, workers: int, initializer: Callable | None = None,
+                       initargs: tuple = ()) -> Executor:
+        """A fresh executor with ``workers`` slots (``submit`` semantics).
 
+        ``initializer(*initargs)`` runs once per worker as it spawns; backends
+        that degrade to inline execution run it on the calling thread instead,
+        so code inside a scope may rely on it having run wherever tasks run.
+        """
+
+    def _new_executor(self, workers: int, initializer: Callable | None = None,
+                      initargs: tuple = ()) -> Executor:
+        """:meth:`_make_executor` plus the ``pool_spinups`` accounting."""
+        pool = self._make_executor(workers, initializer, initargs)
+        if not isinstance(pool, _SerialExecutor):
+            self.pool_spinups += 1
+        return pool
+
+    # -- persistent scope ---------------------------------------------------
+    def _scope_stack(self) -> list:
+        """This thread's stack of active persistent scopes (lazily created)."""
+        local = self.__dict__.get("_persistent_local")
+        if local is None:
+            local = self.__dict__["_persistent_local"] = threading.local()
+        stack = getattr(local, "stack", None)
+        if stack is None:
+            stack = local.stack = []
+        return stack
+
+    def _active_scope(self) -> "PersistentPool | None":
+        """The innermost persistent scope entered *by the calling thread*.
+
+        Calls from any other thread (pool workers fanning out again) see
+        ``None`` and keep the historic fresh-pool behaviour — reusing the
+        scope's pool from inside one of its own workers would deadlock.
+        """
+        local = self.__dict__.get("_persistent_local")
+        stack = getattr(local, "stack", None) if local is not None else None
+        return stack[-1] if stack else None
+
+    def _persistent_inline(self) -> bool:
+        """True when a persistent scope must degrade to inline execution."""
+        return False
+
+    @contextlib.contextmanager
+    def persistent(self, workers: int | None = None,
+                   initializer: Callable | None = None, initargs: tuple = ()):
+        """One long-lived pool backing every map/executor call in this scope.
+
+        Yields the :class:`PersistentPool` (or ``None`` when the scope
+        degrades: the ``serial`` backend, a resolved worker count of 1, or a
+        nested process-pool worker — in which case ``initializer(*initargs)``
+        still runs, inline, preserving the once-per-worker contract).  Only
+        calls from the thread that entered the scope reuse the pool; see
+        :meth:`_active_scope`.  The pool is shut down (waiting for stragglers)
+        when the scope exits, even on error.
+        """
+        # resolve against an unbounded item count: the scope serves maps of
+        # many different sizes, so per-call clamping happens at map() time
+        resolved = self.resolve_workers(workers, sys.maxsize)
+        if resolved == 1 or self._persistent_inline():
+            if initializer is not None:
+                initializer(*initargs)
+            yield None
+            return
+        pool = self._new_executor(resolved, initializer, initargs)
+        scope = PersistentPool(pool, resolved)
+        stack = self._scope_stack()
+        stack.append(scope)
+        try:
+            with pool:
+                yield scope
+        finally:
+            stack.remove(scope)
+
+    # -- pickling: thread-local scope state stays on this side --------------
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state.pop("_persistent_local", None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+
+    # -----------------------------------------------------------------------
     def executor(self, workers: int | None = None, n_items: int | None = None) -> Executor:
         """A context-managed executor for callers that need ``submit``.
 
         ``n_items`` (when known) participates in worker resolution exactly as
         in :meth:`map`; without it the requested (or default) count is used
-        unclamped.
+        unclamped.  Inside a persistent scope (entered on this thread) the
+        returned executor is a non-owning view of the scope's pool whose
+        ``shutdown`` is a no-op — the scope's worker count wins over
+        ``workers``.
         """
         if n_items is not None:
             resolved = self.resolve_workers(workers, n_items)
@@ -172,7 +350,10 @@ class ExecutionBackend(abc.ABC):
             if workers is not None and workers < 1:
                 raise ValueError("workers must be >= 1")
             resolved = max(1, workers if workers is not None else self.default_workers())
-        return self._make_executor(resolved)
+        scope = self._active_scope()
+        if scope is not None and resolved > 1:
+            return _ScopedExecutor(scope.executor)
+        return self._new_executor(resolved)
 
     def map(self, func: Callable[[T], R], items: Sequence[T],
             workers: int | None = None, chunksize: int | None = None) -> list[R]:
@@ -186,6 +367,9 @@ class ExecutionBackend(abc.ABC):
         ``chunksize`` batches items per task dispatch where the backend
         supports it (processes); ``None`` picks a batch that spreads the items
         about four tasks deep per worker to amortize pickling overhead.
+
+        Inside a persistent scope entered on the calling thread, the scope's
+        pool serves the map instead of a fresh one.
         """
         items = list(items)
         if not items:
@@ -193,11 +377,14 @@ class ExecutionBackend(abc.ABC):
         workers = self.resolve_workers(workers, len(items))
         if workers == 1:
             return [func(item) for item in items]
+        scope = self._active_scope()
+        if scope is not None:
+            return scope.map(func, items, chunksize)
         return self._map_concurrent(func, items, workers, chunksize)
 
     def _map_concurrent(self, func: Callable[[T], R], items: list[T],
                         workers: int, chunksize: int | None) -> list[R]:
-        with self._make_executor(workers) as pool:
+        with self._new_executor(workers) as pool:
             return list(pool.map(func, items))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging convenience
@@ -218,7 +405,10 @@ class SerialBackend(ExecutionBackend):
             raise ValueError("workers must be >= 1")
         return 1
 
-    def _make_executor(self, workers: int) -> Executor:
+    def _make_executor(self, workers: int, initializer: Callable | None = None,
+                       initargs: tuple = ()) -> Executor:
+        if initializer is not None:
+            initializer(*initargs)
         return _SerialExecutor()
 
 
@@ -233,8 +423,10 @@ class ThreadBackend(ExecutionBackend):
         # count keep I/O-ish work (simulated transfers, zlib) overlapped
         return min(32, (os.cpu_count() or 1) + 4)
 
-    def _make_executor(self, workers: int) -> Executor:
-        return ThreadPoolExecutor(max_workers=workers)
+    def _make_executor(self, workers: int, initializer: Callable | None = None,
+                       initargs: tuple = ()) -> Executor:
+        return ThreadPoolExecutor(max_workers=workers, initializer=initializer,
+                                  initargs=initargs)
 
 
 class ProcessBackend(ExecutionBackend):
@@ -256,13 +448,22 @@ class ProcessBackend(ExecutionBackend):
         # past the cores, so the thread heuristic (+4) would oversubscribe
         return os.cpu_count() or 1
 
-    def _make_executor(self, workers: int) -> Executor:
+    def _persistent_inline(self) -> bool:
+        # never nest: a persistent scope opened inside a process-pool worker
+        # degrades to inline execution, mirroring the map() degrade
+        return _in_process_worker()
+
+    def _make_executor(self, workers: int, initializer: Callable | None = None,
+                       initargs: tuple = ()) -> Executor:
         if _in_process_worker():
             # never nest: submit-style use inside a process-pool worker runs
             # inline, mirroring the map() degrade
+            if initializer is not None:
+                initializer(*initargs)
             return _SerialExecutor()
         return ProcessPoolExecutor(max_workers=workers,
-                                   initializer=_mark_process_worker)
+                                   initializer=_process_worker_init,
+                                   initargs=(initializer, initargs))
 
     def _map_concurrent(self, func: Callable[[T], R], items: list[T],
                         workers: int, chunksize: int | None) -> list[R]:
@@ -270,7 +471,7 @@ class ProcessBackend(ExecutionBackend):
             return [func(item) for item in items]
         if chunksize is None:
             chunksize = max(1, len(items) // (workers * 4))
-        with self._make_executor(workers) as pool:
+        with self._new_executor(workers) as pool:
             return list(pool.map(func, items, chunksize=chunksize))
 
 
@@ -321,9 +522,12 @@ class SubinterpreterBackend(ExecutionBackend):
         self._require_support()
         return super().executor(workers, n_items)
 
-    def _make_executor(self, workers: int) -> Executor:
+    def _make_executor(self, workers: int, initializer: Callable | None = None,
+                       initargs: tuple = ()) -> Executor:
         self._require_support()
-        return futures.InterpreterPoolExecutor(max_workers=workers)
+        return futures.InterpreterPoolExecutor(max_workers=workers,
+                                               initializer=initializer,
+                                               initargs=initargs)
 
 
 # ----------------------------------------------------------------------

@@ -138,7 +138,8 @@ class TestCaching:
         profiles = profiler.profile_tensors({"encoder.weight": data,
                                              "decoder.weight": data.copy()})
         assert len(cost_model.calls) == len(profiler.grid)
-        assert profiler.cache_info() == {"hits": 1, "misses": 1, "profiles": 1}
+        assert profiler.cache_info() == {"hits": 1, "misses": 1, "drifts": 0,
+                                         "profiles": 1}
         assert profiles["encoder.weight"].measurements \
             is profiles["decoder.weight"].measurements
 
