@@ -13,6 +13,13 @@ Three drills over an 8-client FedAvg run on a simulated 2 Mbps uplink:
   A third leg re-runs the async path with ``streaming=True`` so each update
   decodes incrementally as its simulated packets arrive — same bit-identity
   requirement.
+* **aggregate on arrival** — re-run the rounds with
+  ``aggregate_on_arrival=True`` (batch-workers, inline, and streamed-encode
+  pooled variants): every deterministic field must match the batch-aggregation
+  reference bit-for-bit, and the reported peak decoded-update residency must
+  be 1 on the inline path against the fleet-sized residency of the batch path
+  — the server folds each update as its ship lands instead of holding all of
+  them.
 * **persistent vs fresh** — run the same rounds under the persistent runtime
   (one long-lived 4-worker pool, worker-resident clients) and under the
   historic fresh-pool-per-map path; the records must match bit-for-bit, and
@@ -143,6 +150,39 @@ def _run_overlap_drill(train, test, cfg, backend: str):
     return walls, results
 
 
+def _run_arrival_drill(train, test, cfg, backend: str) -> dict:
+    """Aggregate-on-arrival vs batch: bit-identity and O(1) residency."""
+    walls, runs = {}, {}
+    variants = (
+        ("batch", dict(max_workers=1)),
+        ("arrival", dict(max_workers=1, aggregate_on_arrival=True)),
+        ("arrival-streamed", dict(max_workers=4, streaming_encode=True,
+                                  aggregate_on_arrival=True)),
+    )
+    for label, kwargs in variants:
+        sim = _build_simulation(train, test, cfg, backend=backend, **kwargs)
+        start = time.perf_counter()
+        runs[label] = sim.run(ROUNDS)
+        walls[label] = time.perf_counter() - start
+    for label in ("arrival", "arrival-streamed"):
+        assert _deterministic_fields(runs[label]) == \
+            _deterministic_fields(runs["batch"]), \
+            f"{label} aggregation diverged from the batch reference"
+
+    residency = {label: max(r.peak_update_residency for r in runs[label].rounds)
+                 for label, _ in variants}
+    # batch aggregation holds every decoded update until the round ends;
+    # the arrival path folds each one as its ship completes, so the inline
+    # (single-worker) path keeps exactly one update resident
+    assert residency["batch"] == N_CLIENTS, \
+        f"batch path expected {N_CLIENTS} resident updates, saw {residency['batch']}"
+    assert residency["arrival"] == 1, \
+        f"inline arrival path expected 1 resident update, saw {residency['arrival']}"
+    # the pooled path's reorder buffer tracks arrival skew (completion order
+    # is timing-dependent), so it is reported rather than asserted
+    return {"walls": walls, "residency": residency}
+
+
 def _run_persistent_drill(train, test, cfg, backend: str) -> dict:
     """Persistent runtime vs fresh pools: bit-identity, spinups, task bytes."""
     exec_backend = get_backend(backend)
@@ -231,6 +271,7 @@ def _check_and_report(backend: str, persist: bool, assert_speedup: bool,
 
     tree_rows = _run_tree_drill(train, test, cfg, backend)
     walls, results = _run_overlap_drill(train, test, cfg, backend)
+    arrival = _run_arrival_drill(train, test, cfg, backend)
     persistent = _run_persistent_drill(train, test, cfg, backend)
 
     table = Table(f"Coordinator services ({backend} backend) - {N_CLIENTS} "
@@ -249,6 +290,13 @@ def _check_and_report(backend: str, persist: bool, assert_speedup: bool,
                           _deterministic_fields(results["pool"])))
         record.add(drill=f"uplinks-{label}", wall_seconds=walls[label],
                    final_accuracy=results[label].final_accuracy)
+    for label in ("batch", "arrival", "arrival-streamed"):
+        table.add_row(f"aggregate-on-arrival {label} "
+                      f"({arrival['residency'][label]} resident)",
+                      f"{arrival['walls'][label]:.2f}", "True")
+        record.add(drill=f"arrival-{label}",
+                   wall_seconds=arrival["walls"][label],
+                   peak_update_residency=arrival["residency"][label])
     for label in ("persistent", "fresh"):
         table.add_row(f"runtime {label} "
                       f"({persistent['spinups'][label]} pool spinups)",

@@ -14,8 +14,17 @@ Two drills over one compressed model update on a 2 Mbps simulated link:
   sleeps, so only the residual tail lands after the last packet.  The
   wall-clock speedup assertion is gated on ``os.cpu_count() > 1``; shared
   single-core hosts time sleeps too coarsely to compare reliably.
+* **encode overlap** — the producer-side mirror: ship with
+  ``streaming_encode=True`` at the same packet sizes and report when the first
+  simulated byte leaves (``ShipResult.first_byte_seconds``) against when the
+  encode completes, plus the encode time hidden inside the transfer window
+  (``ShipResult.encode_overlap_seconds``) and the producer's peak staging
+  scratch.  Asserted unconditionally: the first byte leaves strictly before
+  the encode finishes, the hidden encode time is nonzero, and the streamed
+  payload is byte-identical to the batch encoder's.
 
-Both drills require the streamed state to match the batch decode bit-for-bit.
+All drills require the streamed bytes/state to match the batch path
+bit-for-bit.
 
 Entry point: ``PYTHONPATH=src python benchmarks/bench_streaming.py
 [--backend process] [--smoke]`` — ``--smoke`` is the correctness-only CI
@@ -93,6 +102,38 @@ def _run_bytes_in_flight_drill(state, codec, backend: str):
     return batch, rows
 
 
+def _run_encode_overlap_drill(state, codec, backend: str):
+    """Packet-size sweep on the producer side: first byte out vs encode end."""
+    network = NetworkModel(bandwidth_mbps=BANDWIDTH_MBPS)
+    task = ShipTask(client_id=0, state=state, codec=codec, network=network,
+                    keep_payload=True)
+    batch = ship_update_task(task)
+
+    rows = []
+    for packet_bytes in PACKET_SIZES:
+        transport = SimulatedTransport(backend=backend, streaming_encode=True,
+                                       packet_bytes=packet_bytes)
+        result = transport.ship(task)
+        assert result.payload == batch.payload, \
+            (f"streamed-encode payload is not byte-identical to the batch "
+             f"encoder at packet_bytes={packet_bytes}")
+        _assert_states_match(result.state, batch.state)
+        # the whole point of the encode path: the first simulated byte is on
+        # the wire while later container entries are still compressing, and a
+        # nonzero slice of t_C hides inside the transfer window
+        assert result.first_byte_seconds is not None
+        assert result.first_byte_seconds < result.encode_seconds, \
+            (f"first byte at {result.first_byte_seconds:.4f}s did not leave "
+             f"before encode completed at {result.encode_seconds:.4f}s")
+        assert result.encode_overlap_seconds > 0.0, \
+            "no encode time was hidden inside the transfer window"
+        rows.append((packet_bytes, result.payload_bytes,
+                     result.first_byte_seconds, result.encode_seconds,
+                     result.encode_overlap_seconds,
+                     result.encode_scratch_bytes))
+    return rows
+
+
 def _run_wall_clock_drill(state, codec, backend: str):
     """Batch vs streaming ship on a real-sleep link: wall clock comparison."""
     # high enough bandwidth that the drill stays fast, low enough that the
@@ -119,6 +160,7 @@ def _check_and_report(backend: str, persist: bool, assert_speedup: bool) -> int:
     raw_bytes = sum(int(np.asarray(v).nbytes) for v in state.values())
 
     batch, flight_rows = _run_bytes_in_flight_drill(state, codec, backend)
+    encode_rows = _run_encode_overlap_drill(state, codec, backend)
     walls, wall_results = _run_wall_clock_drill(state, codec, backend)
 
     host_cores = os.cpu_count() or 1
@@ -140,6 +182,20 @@ def _check_and_report(backend: str, persist: bool, assert_speedup: bool) -> int:
                    packets=packets, decode_start_s=start, transfer_end_s=end,
                    decode_seconds=decode, decode_overlap_seconds=overlap)
 
+    encode_table = Table("Streaming encode - first byte out vs encode end "
+                         "(producer-gated wire)",
+                         ["packet bytes", "payload", "first byte (s)",
+                          "encode (s)", "overlapped (s)", "scratch"])
+    for packet_bytes, payload, first_byte, encode, overlap, scratch in encode_rows:
+        encode_table.add_row(str(packet_bytes), str(payload),
+                             f"{first_byte:.4f}", f"{encode:.4f}",
+                             f"{overlap * 1e3:.2f}ms",
+                             f"{scratch / 1024:.0f} KiB")
+        record.add(drill="encode-overlap", packet_bytes=packet_bytes,
+                   first_byte_seconds=first_byte, encode_seconds=encode,
+                   encode_overlap_seconds=overlap,
+                   encode_scratch_bytes=scratch)
+
     wall_table = Table("Wall clock - real-sleep link, batch vs streaming ship",
                        ["path", "wall (s)", "decode (s)", "overlapped (s)"])
     for label in ("batch", "streaming"):
@@ -152,10 +208,12 @@ def _check_and_report(backend: str, persist: bool, assert_speedup: bool) -> int:
                    decode_seconds=result.decode_seconds)
 
     if persist:
-        save_results("streaming", [table, wall_table], record)
+        save_results("streaming", [table, encode_table, wall_table], record)
     else:
         print()
         print(table.render())
+        print()
+        print(encode_table.render())
         print()
         print(wall_table.render())
 

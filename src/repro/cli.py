@@ -191,6 +191,17 @@ def build_parser() -> argparse.ArgumentParser:
                           help="decode updates incrementally as simulated "
                                "packets arrive, overlapping decompression "
                                "with the transfer (bit-identical results)")
+    simulate.add_argument("--streaming-encode", action="store_true",
+                          help="encode updates incrementally and start the "
+                               "simulated transfer at the first ready payload "
+                               "piece, overlapping compression with the "
+                               "transfer (bit-identical results)")
+    simulate.add_argument("--aggregate-on-arrival", action="store_true",
+                          help="fold each decoded update into the running "
+                               "aggregate as its ship completes instead of "
+                               "holding every update until the round ends "
+                               "(bit-identical results, O(workers) server "
+                               "residency)")
     _add_entropy_arguments(simulate)
     _add_plan_arguments(simulate)
     _add_backend_argument(simulate)
@@ -283,7 +294,9 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
                                       dropout_prob=args.dropout, straggler_prob=args.straggler,
                                       backend=args.backend, tree_fanout=args.tree_fanout,
                                       journal_dir=journal_dir, resume=args.resume,
-                                      streaming=args.streaming)
+                                      streaming=args.streaming,
+                                      streaming_encode=args.streaming_encode,
+                                      aggregate_on_arrival=args.aggregate_on_arrival)
         except ValueError as exc:
             # round-engine ranges that need cross-flag context (--participation
             # count vs --clients, --workers >= 1, probability ranges) plus
@@ -317,6 +330,25 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
           f"({raw.total_transmitted_bytes / max(fedsz.total_transmitted_bytes, 1):.2f}x reduction)")
     print(f"comm time @{args.bandwidth:g} Mbps: {format_seconds(raw.total_communication_seconds)} vs "
           f"{format_seconds(fedsz.total_communication_seconds)}")
+    if args.streaming_encode:
+        for label, result in results.items():
+            streamed = [r for r in result.rounds
+                        if r.mean_first_byte_seconds is not None]
+            if not streamed:
+                continue
+            first_byte = float(np.mean([r.mean_first_byte_seconds for r in streamed]))
+            hidden = float(np.mean([r.mean_encode_overlap_seconds for r in streamed]))
+            scratch = max(r.peak_encode_scratch_bytes for r in streamed)
+            print(f"encode overlap: {label}: first byte out after "
+                  f"{format_seconds(first_byte)}, {format_seconds(hidden)} of "
+                  f"encode hidden in the transfer window, peak scratch "
+                  f"{format_bytes(scratch)}")
+    if args.aggregate_on_arrival:
+        residency = max((r.peak_update_residency or 0
+                         for result in results.values() for r in result.rounds),
+                        default=0)
+        print(f"aggregate on arrival: peak resident decoded updates {residency} "
+              f"(fleet size {args.clients})")
     return 0
 
 

@@ -32,6 +32,7 @@ __all__ = [
     "Compressor",
     "LossyCompressor",
     "TensorStreamDecoder",
+    "TensorStreamEncoder",
     "CompressionStats",
     "roundtrip",
 ]
@@ -157,7 +158,14 @@ class LossyCompressor(Compressor):
         """Reconstruct ``count`` values from a compressor-specific body."""
 
     # -- public API ---------------------------------------------------------
-    def compress(self, data: np.ndarray) -> bytes:
+    def _encode_prelude(self, data: np.ndarray) -> tuple[bytes, np.ndarray, float]:
+        """Resolve the bound and build the shared container header.
+
+        Returns ``(header, flat_float64, abs_bound)``.  Shared by the batch
+        :meth:`compress` and the streaming encoders so both paths pin the
+        identical header (bound resolution, ULP shaving, shape record) before
+        any body byte exists.
+        """
         data = np.asarray(data)
         if data.dtype not in self._DTYPE_CODES:
             data = data.astype(np.float32)
@@ -173,8 +181,11 @@ class LossyCompressor(Compressor):
         header = struct.pack("<BB", self._DTYPE_CODES[data.dtype], data.ndim)
         header += struct.pack(f"<{data.ndim}Q", *data.shape) if data.ndim else b""
         header += struct.pack("<d", abs_bound)
-        body = self._compress_float1d(flat.astype(np.float64, copy=False), abs_bound)
-        return header + body
+        return header, flat.astype(np.float64, copy=False), abs_bound
+
+    def compress(self, data: np.ndarray) -> bytes:
+        header, flat, abs_bound = self._encode_prelude(data)
+        return header + self._compress_float1d(flat, abs_bound)
 
     @classmethod
     def _parse_container_header(cls, payload) -> tuple[np.dtype, tuple, int, float, int]:
@@ -247,6 +258,17 @@ class LossyCompressor(Compressor):
         """
         return TensorStreamDecoder(self)
 
+    def stream_encoder(self) -> "TensorStreamEncoder":
+        """Return a pull-based incremental encoder for one lossy payload.
+
+        The base implementation pins the shared container header, then emits
+        the whole body in one piece — correct for every codec but overlaps
+        nothing.  Codecs whose body embeds an incrementally producible entropy
+        stream (SZ2/SZ3) override this to emit the body as it is coded; either
+        way the concatenated pieces are byte-identical to :meth:`compress`.
+        """
+        return TensorStreamEncoder(self)
+
     def with_error_bound(self, error_bound: ErrorBound | float,
                          mode: ErrorBoundMode | str | None = None) -> "LossyCompressor":
         """Return a copy of this compressor configured with a new bound."""
@@ -292,6 +314,31 @@ class TensorStreamDecoder:
         if self._result is None:
             self._result = self._compressor.decompress(bytes(self._buf))
         return self._result
+
+
+class TensorStreamEncoder:
+    """Pull-based incremental encoder for one lossy tensor payload.
+
+    :meth:`chunks` yields payload byte pieces in stream order; their
+    concatenation is byte-identical to :meth:`LossyCompressor.compress` on
+    the same data.  This base implementation emits the whole payload in a
+    single piece by delegating to :meth:`~LossyCompressor.compress`, which
+    makes it correct for every codec — including ones that override
+    ``compress`` wholesale (e.g. verbatim) — but overlaps nothing.  Codecs
+    with an incrementally producible body (SZ2/SZ3) substitute
+    :class:`~repro.compressors.streaming.SZStreamEncoder`, which emits the
+    pinned container header first and body pieces as they are coded.
+    ``scratch_bytes`` reports the encoder's analytic peak scratch estimate
+    after the generator is exhausted (0 when the codec does not track it).
+    """
+
+    def __init__(self, compressor: LossyCompressor) -> None:
+        self._compressor = compressor
+        self.scratch_bytes = 0
+
+    def chunks(self, data: np.ndarray):
+        """Yield the payload pieces for ``data`` in stream order."""
+        yield self._compressor.compress(data)
 
 
 def roundtrip(compressor: Compressor, data: np.ndarray) -> tuple[np.ndarray, CompressionStats]:

@@ -67,8 +67,8 @@ import numpy as np
 from repro.utils.bitstream import StreamBuffer
 from repro.utils.parallel import ExecutionBackend, get_backend
 
-__all__ = ["HuffmanCoder", "ChunkBandConsumer", "MAX_CODE_LENGTH",
-           "DEFAULT_CHUNK_SYMBOLS"]
+__all__ = ["HuffmanCoder", "ChunkBandConsumer", "ChunkBandProducer",
+           "MAX_CODE_LENGTH", "DEFAULT_CHUNK_SYMBOLS"]
 
 #: Longest permitted codeword.  16 keeps the decode lookup table at 64K entries.
 MAX_CODE_LENGTH = 16
@@ -505,6 +505,163 @@ class ChunkBandConsumer:
         self._next_chunk = hi
 
 
+#: Bytes of vectorized-emission scratch per (symbol, bit-position) matrix
+#: cell: the ``shift`` int64 (8) + ``valid`` bool (1) + ``shifted`` uint64 (8)
+#: + ``bits`` uint8 (1) temporaries of the bit-emission kernel.
+_EMIT_SCRATCH_PER_CELL = 18
+
+
+class ChunkBandProducer:
+    """Incremental encoder for v3 ``HUF3`` streams: the twin of
+    :class:`ChunkBandConsumer`.
+
+    The encoder has every symbol in memory before the first bit is packed, so
+    after one cheap symbol pass (histogram, code lengths, canonical codes,
+    chunk geometry) the *entire* header — code-length table, per-chunk
+    ``(bit_offset, symbol_count)`` index, and total bit count — is pinned:
+    :attr:`pinned_header` and :attr:`stream_length` are available before any
+    band exists.  :meth:`bands` then emits each chunk's packed code bits the
+    moment that chunk's symbols are coded, in chunk order, cut at byte
+    boundaries so the concatenated bands are bit-identical to the batch
+    encoder's single :func:`numpy.packbits` pass.
+
+    Packing per chunk instead of per stream also bounds the vectorized
+    emission scratch (the ``symbols x max_code_length`` bit matrix) to one
+    chunk: :attr:`peak_scratch_bytes` reports the analytic high-water mark,
+    which is what the round engine surfaces as encode scratch.
+
+    The one field that cannot be pinned early is the stream CRC-32 at byte
+    offset 4: it covers the packed bands, so :meth:`magic_and_crc` only
+    becomes available once :meth:`bands` is exhausted.  Consumers that need
+    the stream in byte order therefore stage bands until the prefix is
+    released — :meth:`chunks` does exactly that and yields the byte-order
+    stream (prefix, pinned header, then each band), whose concatenation
+    equals :meth:`HuffmanCoder.encode` for the same ``chunk_size``.  See the
+    producer-side framing contract in FORMATS.md.
+    """
+
+    def __init__(self, symbols: np.ndarray,
+                 chunk_size: int = DEFAULT_CHUNK_SYMBOLS) -> None:
+        if not 1 <= chunk_size <= 0xFFFFFFFF:
+            raise ValueError("chunk_size must be in [1, 2**32 - 1] (stored as u32)")
+        symbols = np.ascontiguousarray(symbols).ravel()
+        if symbols.size and symbols.min() < 0:
+            raise ValueError("Huffman symbols must be non-negative")
+        self._count = count = symbols.size
+        self._crc: "int | None" = None
+        self._bands_done = count == 0
+        if count == 0:
+            self.n_chunks = 0
+            self.pinned_header = _HEADER.pack(0, 0, chunk_size, 0) + \
+                struct.pack("<Q", 0)
+            self._crc = zlib.crc32(self.pinned_header)
+            self.stream_length = _PREFIX_LEN + len(self.pinned_header)
+            self.peak_scratch_bytes = 0
+            return
+        self._symbols = symbols = symbols.astype(np.int64, copy=False)
+        alphabet = int(symbols.max()) + 1
+        freqs = np.bincount(symbols, minlength=alphabet)
+        lengths = _build_code_lengths(freqs)
+        self._codes = _canonical_codes(lengths).astype(np.uint64)
+        self._sym_lengths = lengths[symbols]
+        self._max_len = int(lengths.max())
+        bit_ends = np.cumsum(self._sym_lengths)
+        total_bits = int(bit_ends[-1])
+
+        chunk = min(chunk_size, max(_MIN_CHUNK_SYMBOLS, count // _TARGET_CHUNKS))
+        self._starts = starts = np.arange(0, count, chunk, dtype=np.int64)
+        self.n_chunks = starts.size
+        offsets = np.zeros(starts.size, dtype=np.uint64)
+        offsets[1:] = bit_ends[starts[1:] - 1].astype(np.uint64)
+        index = np.empty((starts.size, 2), dtype="<u8")
+        index[:, 0] = offsets
+        index[:, 1] = np.minimum(chunk, count - starts).astype(np.uint64)
+
+        header = bytearray(_HEADER.size + alphabet + 16 * starts.size + 8)
+        _HEADER.pack_into(header, 0, alphabet, count, chunk, starts.size)
+        pos = _HEADER.size
+        header[pos:pos + alphabet] = lengths.astype(np.uint8).tobytes()
+        pos += alphabet
+        header[pos:pos + 16 * starts.size] = index.tobytes()
+        pos += 16 * starts.size
+        struct.pack_into("<Q", header, pos, total_bits)
+        self.pinned_header = bytes(header)
+        self._total_bits = total_bits
+        self.stream_length = _PREFIX_LEN + len(self.pinned_header) + \
+            (total_bits + 7) // 8
+        widest = int(index[:, 1].max())
+        self.peak_scratch_bytes = widest * self._max_len * _EMIT_SCRATCH_PER_CELL
+
+    def bands(self):
+        """Yield each chunk's packed code bits the moment the chunk is coded.
+
+        Bands are cut at byte boundaries (leftover bits carry into the next
+        band; the final band is zero-padded), so their concatenation equals
+        the batch encoder's packed bit stream byte for byte.  The running
+        CRC-32 folds each band in as it is packed; :meth:`magic_and_crc`
+        unlocks when the generator is exhausted.
+        """
+        if self._count == 0:
+            return
+        crc = zlib.crc32(self.pinned_header)
+        carry = np.zeros(0, dtype=np.uint8)
+        bitpos = np.arange(self._max_len, dtype=np.int64)
+        emitted = 0
+        for k in range(self.n_chunks):
+            s0 = int(self._starts[k])
+            s1 = int(self._starts[k + 1]) if k + 1 < self.n_chunks else self._count
+            chunk_lens = self._sym_lengths[s0:s1]
+            chunk_codes = self._codes[self._symbols[s0:s1]]
+            shift = chunk_lens[:, None] - 1 - bitpos[None, :]
+            valid = shift >= 0
+            shifted = chunk_codes[:, None] >> np.maximum(shift, 0).astype(np.uint64)
+            bits = (shifted & np.uint64(1)).astype(np.uint8)[valid]
+            if carry.size:
+                bits = np.concatenate([carry, bits])
+            if k + 1 < self.n_chunks:
+                cut = bits.size & ~7  # pack whole bytes, carry the remainder
+                band = np.packbits(bits[:cut]).tobytes()
+                carry = bits[cut:]
+                emitted += cut
+            else:
+                band = np.packbits(bits).tobytes()
+                emitted += bits.size
+                carry = np.zeros(0, dtype=np.uint8)
+            crc = zlib.crc32(band, crc)
+            self._crc = crc
+            yield band
+        if emitted != self._total_bits:
+            raise RuntimeError("producer emitted a different bit count than "
+                               "the pinned index declares")
+        self._bands_done = True
+
+    def magic_and_crc(self) -> bytes:
+        """The 8-byte stream prefix (magic + CRC-32 of everything after it).
+
+        The CRC covers the packed bands, so this is only available once
+        :meth:`bands` has been exhausted (immediately for an empty stream).
+        """
+        if not self._bands_done:
+            raise ValueError("the HUF3 CRC covers the packed bands; drain "
+                             "bands() before reading the stream prefix")
+        return _MAGIC + struct.pack("<I", self._crc)
+
+    def chunks(self):
+        """Byte-order view of the stream: prefix, pinned header, then bands.
+
+        Because the CRC at offset 4 is pinned last, bands are staged
+        internally until packing completes; the staging high-water mark is
+        the packed bit stream itself, never the emission scratch.  The
+        concatenation of the yielded pieces is byte-identical to
+        :meth:`HuffmanCoder.encode` at the same ``chunk_size``.
+        """
+        staged = list(self.bands())
+        yield self.magic_and_crc()
+        yield self.pinned_header
+        while staged:
+            yield staged.pop(0)
+
+
 class HuffmanCoder:
     """Encode/decode streams of non-negative integer symbols.
 
@@ -536,52 +693,32 @@ class HuffmanCoder:
         return min(self.chunk_size, max(_MIN_CHUNK_SYMBOLS, count // _TARGET_CHUNKS))
 
     def encode(self, symbols: np.ndarray) -> bytes:
-        """Encode ``symbols`` (any integer dtype, values >= 0) to bytes."""
-        symbols = np.ascontiguousarray(symbols).ravel()
-        if symbols.size and symbols.min() < 0:
-            raise ValueError("Huffman symbols must be non-negative")
-        count = symbols.size
-        if count == 0:
-            body = _HEADER.pack(0, 0, self.chunk_size, 0) + struct.pack("<Q", 0)
-            return _MAGIC + struct.pack("<I", zlib.crc32(body)) + body
-        symbols = symbols.astype(np.int64, copy=False)
-        alphabet = int(symbols.max()) + 1
-        freqs = np.bincount(symbols, minlength=alphabet)
-        lengths = _build_code_lengths(freqs)
-        codes = _canonical_codes(lengths)
+        """Encode ``symbols`` (any integer dtype, values >= 0) to bytes.
 
-        sym_lengths = lengths[symbols]
-        sym_codes = codes[symbols].astype(np.uint64)
-        bit_ends = np.cumsum(sym_lengths)
-        total_bits = int(bit_ends[-1])
-        max_len = int(lengths.max())
+        The stream is assembled chunk by chunk through
+        :class:`ChunkBandProducer` into one preallocated buffer: packing per
+        chunk bounds the vectorized-emission scratch to a single chunk's bit
+        matrix instead of the whole stream's, and the single output buffer
+        replaces the former chain of intermediate ``bytes`` concatenations.
+        """
+        producer = ChunkBandProducer(symbols, self.chunk_size)
+        out = bytearray(producer.stream_length)
+        pos = _PREFIX_LEN + len(producer.pinned_header)
+        out[_PREFIX_LEN:pos] = producer.pinned_header
+        for band in producer.bands():
+            out[pos:pos + len(band)] = band
+            pos += len(band)
+        out[:_PREFIX_LEN] = producer.magic_and_crc()
+        return bytes(out)
 
-        # Emit every code MSB-first into a flat bit array in one vectorized pass.
-        bitpos = np.arange(max_len, dtype=np.int64)
-        shift = sym_lengths[:, None] - 1 - bitpos[None, :]
-        valid = shift >= 0
-        shifted = sym_codes[:, None] >> np.maximum(shift, 0).astype(np.uint64)
-        bits = (shifted & np.uint64(1)).astype(np.uint8)
-        flat_bits = bits[valid]
-        assert flat_bits.size == total_bits
-        packed = np.packbits(flat_bits)
+    def stream_producer(self, symbols: np.ndarray) -> ChunkBandProducer:
+        """Return a :class:`ChunkBandProducer` over ``symbols``.
 
-        # Per-chunk index: where each chunk starts in the bit stream and how
-        # many symbols it holds.  Chunks share the global code table but are
-        # independently decodable from their recorded offsets.
-        chunk = self._effective_chunk(count)
-        starts = np.arange(0, count, chunk, dtype=np.int64)
-        offsets = np.zeros(starts.size, dtype=np.uint64)
-        offsets[1:] = bit_ends[starts[1:] - 1].astype(np.uint64)
-        index = np.empty((starts.size, 2), dtype="<u8")
-        index[:, 0] = offsets
-        index[:, 1] = np.minimum(chunk, count - starts).astype(np.uint64)
-
-        body = _HEADER.pack(alphabet, count, chunk, starts.size)
-        body += lengths.astype(np.uint8).tobytes()
-        body += index.tobytes()
-        body += struct.pack("<Q", total_bits) + packed.tobytes()
-        return _MAGIC + struct.pack("<I", zlib.crc32(body)) + body
+        The producer uses this coder's ``chunk_size``, so its byte-order
+        stream (:meth:`ChunkBandProducer.chunks`) concatenates to exactly
+        what :meth:`encode` returns.
+        """
+        return ChunkBandProducer(symbols, self.chunk_size)
 
     def stream_consumer(self, max_workers: int | None = None,
                         backend: "str | ExecutionBackend | None" = None

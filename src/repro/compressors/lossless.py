@@ -31,6 +31,8 @@ import numpy as np
 
 __all__ = [
     "LosslessCodec",
+    "StreamCompressor",
+    "BufferedStreamCompressor",
     "StreamDecompressor",
     "BufferedStreamDecompressor",
     "BloscLZCodec",
@@ -43,6 +45,64 @@ __all__ = [
     "available_lossless",
     "get_lossless",
 ]
+
+
+class StreamCompressor:
+    """Push-based incremental counterpart of :meth:`LosslessCodec.compress`.
+
+    ``feed`` accepts plaintext bytes as they are produced and returns whatever
+    compressed output became available; ``finish`` flushes the tail.  The
+    concatenation of all returned bytes is byte-identical to ``compress`` over
+    the whole plaintext, for every way the plaintext is split into pieces —
+    that is the producer-side streaming contract (see FORMATS.md), and it is
+    what lets a simulated transfer start before the encode completes.
+    """
+
+    def feed(self, data) -> bytes:
+        raise NotImplementedError
+
+    def finish(self) -> bytes:
+        raise NotImplementedError
+
+
+class BufferedStreamCompressor(StreamCompressor):
+    """Fallback for codecs with no incremental backend: buffer, then compress.
+
+    Used by the filter-based codecs (blosc-lz, shuffle-rle), whose shuffle
+    transform needs the whole body before the first output byte is decidable,
+    and by gzip, whose batch header is assembled differently across Python
+    versions.  All compressed bytes surface at :meth:`finish`.
+    """
+
+    def __init__(self, codec: "LosslessCodec") -> None:
+        self._codec = codec
+        self._buf = bytearray()
+
+    def feed(self, data) -> bytes:
+        self._buf += memoryview(data)
+        return b""
+
+    def finish(self) -> bytes:
+        return self._codec.compress(bytes(self._buf))
+
+
+class _IncrementalStreamCompressor(StreamCompressor):
+    """Wrapper over the stdlib incremental compressor objects.
+
+    ``zlib.compressobj`` / ``bz2.BZ2Compressor`` / ``lzma.LZMACompressor``
+    produce output that does not depend on how the input was chunked (no
+    sync points are emitted between feeds), so the concatenated output equals
+    the corresponding one-shot batch function byte for byte.
+    """
+
+    def __init__(self, obj) -> None:
+        self._obj = obj
+
+    def feed(self, data) -> bytes:
+        return self._obj.compress(bytes(data))
+
+    def finish(self) -> bytes:
+        return self._obj.flush()
 
 
 class StreamDecompressor:
@@ -162,6 +222,17 @@ class LosslessCodec:
     def decompress(self, payload: bytes) -> bytes:
         """Invert :meth:`compress`."""
         return bytes(payload)
+
+    def compressor(self) -> StreamCompressor:
+        """Return a push-based incremental compressor for one stream.
+
+        Codecs backed by a stdlib incremental object override this to release
+        compressed bytes as plaintext is fed; the default buffers everything
+        and compresses at ``finish`` (correct for any codec, overlaps
+        nothing).  Either way the concatenated output is byte-identical to
+        :meth:`compress` over the whole plaintext.
+        """
+        return BufferedStreamCompressor(self)
 
     def decompressor(self) -> StreamDecompressor:
         """Return a push-based incremental decompressor for one stream.
@@ -321,6 +392,9 @@ class ZlibCodec(LosslessCodec):
     def decompress(self, payload: bytes) -> bytes:
         return zlib.decompress(payload)
 
+    def compressor(self) -> StreamCompressor:
+        return _IncrementalStreamCompressor(zlib.compressobj(self.level))
+
     def decompressor(self) -> StreamDecompressor:
         # zlib.decompress ignores any bytes after the end-of-stream marker
         return _ChainedStreamDecompressor(zlib.decompressobj,
@@ -362,6 +436,9 @@ class Bzip2Codec(LosslessCodec):
     def decompress(self, payload: bytes) -> bytes:
         return bz2.decompress(payload)
 
+    def compressor(self) -> StreamCompressor:
+        return _IncrementalStreamCompressor(bz2.BZ2Compressor(self.level))
+
     def decompressor(self) -> StreamDecompressor:
         return _ChainedStreamDecompressor(bz2.BZ2Decompressor,
                                           chain=True, ignore_trailing=True)
@@ -380,6 +457,9 @@ class LzmaCodec(LosslessCodec):
 
     def decompress(self, payload: bytes) -> bytes:
         return lzma.decompress(payload)
+
+    def compressor(self) -> StreamCompressor:
+        return _IncrementalStreamCompressor(lzma.LZMACompressor(preset=self.preset))
 
     def decompressor(self) -> StreamDecompressor:
         return _ChainedStreamDecompressor(lzma.LZMADecompressor,
@@ -403,6 +483,9 @@ class ZstdLikeCodec(LosslessCodec):
 
     def decompress(self, payload: bytes) -> bytes:
         return zlib.decompress(payload)
+
+    def compressor(self) -> StreamCompressor:
+        return _IncrementalStreamCompressor(zlib.compressobj(self.level))
 
     def decompressor(self) -> StreamDecompressor:
         return _ChainedStreamDecompressor(zlib.decompressobj,

@@ -1,8 +1,11 @@
-"""Streaming decode path for the SZ-family lossy compressors.
+"""Streaming encode/decode paths for the SZ-family lossy compressors.
 
 The SZ2/SZ3 payload is a shared lossy container header followed by a
 lossless-wrapped body whose dominant cost is the chunked ``HUF3`` Huffman
-stream.  :class:`SZStreamDecoder` overlaps that cost with byte arrival:
+stream.  :class:`SZStreamDecoder` overlaps that cost with byte arrival, and
+:class:`SZStreamEncoder` is its encode-side mirror: it emits payload bytes as
+the body is coded, so a simulated transfer can start before the encode
+completes.  :class:`SZStreamDecoder` overlaps decode with arrival:
 
 1. the container header (dtype, shape, bound) is assembled and validated as
    its first bytes land,
@@ -27,13 +30,76 @@ at :meth:`~SZStreamDecoder.finish`.
 
 from __future__ import annotations
 
+import struct
+
 import numpy as np
 
-from repro.compressors.base import LossyCompressor, TensorStreamDecoder
+from repro.compressors.base import (LossyCompressor, TensorStreamDecoder,
+                                    TensorStreamEncoder)
 from repro.utils.bitstream import StreamBuffer
 from repro.utils.serialization import MAX_NDIM
 
-__all__ = ["SZStreamDecoder"]
+__all__ = ["SZStreamDecoder", "SZStreamEncoder"]
+
+
+class SZStreamEncoder(TensorStreamEncoder):
+    """Incremental encoder for SZ2/SZ3-style lossy payloads.
+
+    The encode-side mirror of :class:`SZStreamDecoder`:
+
+    1. the shared container header is pinned by the prelude and emitted as
+       the first piece,
+    2. the pre-Huffman body fields (block geometry, selectors, coefficients
+       or anchors) flow through the codec's incremental
+       :meth:`~repro.compressors.lossless.LosslessCodec.compressor`,
+    3. the embedded ``HUF3`` stream's byte length is emitted *analytically*
+       from the :class:`~repro.compressors.huffman.ChunkBandProducer`'s
+       pinned index — before a single band has been packed — so the length
+       prefix never stalls the stream,
+    4. the producer's byte-order chunks then stream through the lossless
+       compressor as each Huffman chunk is coded,
+    5. the outlier tail follows and the compressor is flushed.
+
+    Every piece the lossless compressor releases is yielded immediately, so
+    downstream consumers (the simulated wire) see bytes while later chunks
+    are still being coded.  The concatenated pieces are byte-identical to
+    :meth:`~repro.compressors.base.LossyCompressor.compress` because both
+    paths share ``_encode_prelude`` and ``_body_parts`` and the producer's
+    stream equals the batch Huffman encoding.  ``scratch_bytes`` reports the
+    producer's peak emission scratch after the generator is exhausted.
+
+    Requires the compressor to provide ``lossless``, ``huffman``, and
+    ``_body_parts``.
+    """
+
+    def chunks(self, data: np.ndarray):
+        comp = self._compressor
+        header, flat, abs_bound = comp._encode_prelude(data)
+        yield header
+        prefix, codes, suffix = comp._body_parts(flat, abs_bound)
+        lc = comp.lossless.compressor()
+        for piece in prefix:
+            out = lc.feed(piece)
+            if out:
+                yield out
+        if codes is not None:
+            producer = comp.huffman.stream_producer(codes)
+            out = lc.feed(struct.pack("<Q", producer.stream_length))
+            if out:
+                yield out
+            for chunk in producer.chunks():
+                out = lc.feed(chunk)
+                if out:
+                    yield out
+            self.scratch_bytes = max(self.scratch_bytes,
+                                     producer.peak_scratch_bytes)
+        for piece in suffix:
+            out = lc.feed(piece)
+            if out:
+                yield out
+        tail = lc.finish()
+        if tail:
+            yield tail
 
 
 class SZStreamDecoder(TensorStreamDecoder):

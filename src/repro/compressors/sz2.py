@@ -43,7 +43,7 @@ from repro.compressors.predictors import (
     predictions_from_regression,
 )
 from repro.compressors.quantizer import LinearQuantizer
-from repro.compressors.streaming import SZStreamDecoder
+from repro.compressors.streaming import SZStreamDecoder, SZStreamEncoder
 from repro.utils.bitstream import StreamBuffer
 
 __all__ = ["SZ2Compressor"]
@@ -79,8 +79,27 @@ class SZ2Compressor(LossyCompressor):
 
     # ------------------------------------------------------------------
     def _compress_float1d(self, data: np.ndarray, abs_bound: float) -> bytes:
+        prefix, codes, suffix = self._body_parts(data, abs_bound)
+        if codes is None:
+            return self.lossless.compress(b"".join(prefix + suffix))
+        huff = self.huffman.encode(codes)
+        body = b"".join(prefix) + struct.pack("<Q", len(huff)) + huff + b"".join(suffix)
+        return self.lossless.compress(body)
+
+    def _body_parts(self, data: np.ndarray, abs_bound: float
+                    ) -> "tuple[list[bytes], np.ndarray | None, list[bytes]]":
+        """Split the plaintext body into (pre-Huffman pieces, quantization
+        codes, post-Huffman pieces).
+
+        Shared by the batch :meth:`_compress_float1d` and the streaming
+        :class:`~repro.compressors.streaming.SZStreamEncoder`, which entropy-
+        codes the returned symbols through a
+        :class:`~repro.compressors.huffman.ChunkBandProducer` so both paths
+        produce byte-identical bodies.  ``codes is None`` marks the
+        empty-array escape (no embedded Huffman stream).
+        """
         if data.size == 0:
-            return self.lossless.compress(struct.pack("<IQI", self.block_size, 0, self.quantizer.radius))
+            return [struct.pack("<IQI", self.block_size, 0, self.quantizer.radius)], None, []
 
         blocks, original_len = block_pad(data, self.block_size)
         n_blocks = blocks.shape[0]
@@ -120,16 +139,13 @@ class SZ2Compressor(LossyCompressor):
         coefficients = np.concatenate(coef_chunks).astype(np.float32) if coef_chunks else np.zeros(0, np.float32)
 
         selector_bits = np.packbits(use_regression.astype(np.uint8))
-        huff = self.huffman.encode(quant.codes)
-        outliers = quant.outliers
 
-        body = struct.pack("<IQI", self.block_size, n_blocks, self.quantizer.radius)
-        body += struct.pack("<Q", original_len)
-        body += struct.pack("<Q", selector_bits.size) + selector_bits.tobytes()
-        body += struct.pack("<Q", coefficients.size) + coefficients.tobytes()
-        body += struct.pack("<Q", len(huff)) + huff
-        body += LinearQuantizer.pack_outliers(outliers)
-        return self.lossless.compress(body)
+        prefix = [struct.pack("<IQI", self.block_size, n_blocks, self.quantizer.radius),
+                  struct.pack("<Q", original_len),
+                  struct.pack("<Q", selector_bits.size) + selector_bits.tobytes(),
+                  struct.pack("<Q", coefficients.size) + coefficients.tobytes()]
+        suffix = [LinearQuantizer.pack_outliers(quant.outliers)]
+        return prefix, quant.codes, suffix
 
     # ------------------------------------------------------------------
     def _decompress_float1d(self, body: bytes, count: int, abs_bound: float,
@@ -140,6 +156,10 @@ class SZ2Compressor(LossyCompressor):
     def stream_decoder(self) -> SZStreamDecoder:
         """Incremental decoder that overlaps the Huffman stage with arrival."""
         return SZStreamDecoder(self)
+
+    def stream_encoder(self) -> SZStreamEncoder:
+        """Incremental encoder that emits the body as the Huffman stage codes."""
+        return SZStreamEncoder(self)
 
     def _huffman_span(self, plain: "StreamBuffer") -> "tuple[int, int] | None":
         """Locate the embedded Huffman stream in a plaintext body prefix.

@@ -39,7 +39,7 @@ from repro.compressors.huffman import DEFAULT_CHUNK_SYMBOLS, HuffmanCoder
 from repro.compressors.lossless import LosslessCodec, get_lossless
 from repro.compressors.predictors import InterpolationPredictor
 from repro.compressors.quantizer import LinearQuantizer
-from repro.compressors.streaming import SZStreamDecoder
+from repro.compressors.streaming import SZStreamDecoder, SZStreamEncoder
 from repro.utils.bitstream import StreamBuffer
 
 __all__ = ["SZ3Compressor"]
@@ -72,9 +72,25 @@ class SZ3Compressor(LossyCompressor):
 
     # ------------------------------------------------------------------
     def _compress_float1d(self, data: np.ndarray, abs_bound: float) -> bytes:
+        prefix, codes, suffix = self._body_parts(data, abs_bound)
+        if codes is None:
+            return self.lossless.compress(b"".join(prefix + suffix))
+        huff = self.huffman.encode(codes)
+        body = b"".join(prefix) + struct.pack("<Q", len(huff)) + huff + b"".join(suffix)
+        return self.lossless.compress(body)
+
+    def _body_parts(self, data: np.ndarray, abs_bound: float
+                    ) -> "tuple[list[bytes], np.ndarray | None, list[bytes]]":
+        """Split the plaintext body into (pre-Huffman pieces, quantization
+        codes, post-Huffman pieces).
+
+        Same contract as :meth:`SZ2Compressor._body_parts`: shared by the
+        batch path and the streaming :class:`SZStreamEncoder`, with ``codes
+        is None`` marking the empty-array escape.
+        """
         n = data.size
         if n == 0:
-            return self.lossless.compress(struct.pack("<QIB", 0, self.quantizer.radius, 0))
+            return [struct.pack("<QIB", 0, self.quantizer.radius, 0)], None, []
 
         predictor = InterpolationPredictor(n)
         anchors_idx = predictor.anchor_indices()
@@ -101,13 +117,11 @@ class SZ3Compressor(LossyCompressor):
 
         codes = np.concatenate(code_chunks) if code_chunks else np.zeros(0, dtype=np.int64)
         outliers = np.concatenate(outlier_chunks) if outlier_chunks else np.zeros(0, dtype=np.float64)
-        huff = self.huffman.encode(codes)
 
-        body = struct.pack("<QIB", n, self.quantizer.radius, 0 if f32_ok else 1)
-        body += struct.pack("<Q", anchors.size) + anchors.tobytes()
-        body += struct.pack("<Q", len(huff)) + huff
-        body += LinearQuantizer.pack_outliers(outliers)
-        return self.lossless.compress(body)
+        prefix = [struct.pack("<QIB", n, self.quantizer.radius, 0 if f32_ok else 1),
+                  struct.pack("<Q", anchors.size) + anchors.tobytes()]
+        suffix = [LinearQuantizer.pack_outliers(outliers)]
+        return prefix, codes, suffix
 
     # ------------------------------------------------------------------
     def _decompress_float1d(self, body: bytes, count: int, abs_bound: float,
@@ -118,6 +132,10 @@ class SZ3Compressor(LossyCompressor):
     def stream_decoder(self) -> SZStreamDecoder:
         """Incremental decoder that overlaps the Huffman stage with arrival."""
         return SZStreamDecoder(self)
+
+    def stream_encoder(self) -> SZStreamEncoder:
+        """Incremental encoder that emits the body as the Huffman stage codes."""
+        return SZStreamEncoder(self)
 
     def _huffman_span(self, plain: "StreamBuffer") -> "tuple[int, int] | None":
         """Locate the embedded Huffman stream in a plaintext body prefix.

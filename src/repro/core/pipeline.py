@@ -62,7 +62,8 @@ from repro.core.plan import (
 from repro.utils.parallel import get_backend, map_parallel
 from repro.utils.serialization import pack_arrays, pack_bytes_dict, unpack_arrays, unpack_bytes_dict
 
-__all__ = ["FedSZCompressor", "FedSZReport", "StreamingStateDecoder"]
+__all__ = ["FedSZCompressor", "FedSZReport", "StreamingStateDecoder",
+           "StreamingStateEncoder"]
 
 #: bumped to 4 for the plan-driven mixed-codec format: every ``lossy::``
 #: payload is prefixed with its codec id and the manifest carries the full
@@ -484,6 +485,29 @@ class FedSZCompressor:
         return state
 
     # ------------------------------------------------------------------
+    def stream_encoder(self) -> "StreamingStateEncoder":
+        """A pull-based incremental encoder for one FedSZ bitstream.
+
+        Iterate :meth:`StreamingStateEncoder.chunks` to get wire byte pieces
+        as the encode progresses — the container preamble and manifest leave
+        before any tensor has been compressed, and each tensor entry leaves
+        the moment its payload completes, which is how the coordinator hides
+        ``t_C`` inside ``S'/B``.  The concatenated pieces are bit-identical to
+        :meth:`compress_with_report` over the same state dict.
+        """
+        return StreamingStateEncoder(self)
+
+    def compress_stream(self, state: dict[str, np.ndarray]) -> "Iterator[bytes]":
+        """Encode ``state`` as an iterator of FedSZ bitstream byte chunks.
+
+        The first chunk (container preamble plus the manifest entry) is
+        available after only the plan build; subsequent chunks surface as each
+        entry's payload completes.  Joining every chunk yields exactly
+        :meth:`compress_state_dict`'s bitstream.
+        """
+        return self.stream_encoder().chunks(state)
+
+    # ------------------------------------------------------------------
     def stream_decoder(self) -> "StreamingStateDecoder":
         """A push-based incremental decoder for one FedSZ bitstream.
 
@@ -528,6 +552,105 @@ class FedSZCompressor:
     def partition(self, state: dict[str, np.ndarray]) -> PartitionedState:
         """Expose the partitioning decision for inspection (Table III)."""
         return partition_state_dict(state, self.config)
+
+
+class StreamingStateEncoder:
+    """Pull-based encoder for one version-4 FedSZ bitstream.
+
+    :meth:`chunks` yields wire byte pieces in stream order; their
+    concatenation is byte-identical to
+    :meth:`FedSZCompressor.compress_state_dict` on the same state dict.  The
+    encode-side mirror of :class:`StreamingStateDecoder`'s consumption
+    contract: the ``__manifest__`` entry is emitted *first* (a streaming
+    decoder needs the plan before any lossy payload), then ``__lossless__``,
+    then the ``lossy::`` entries in manifest plan order.
+
+    Overlap is at container-entry granularity: each entry's u64 value-length
+    prefix pins the entry's byte budget, so an entry's first byte cannot
+    leave until its payload is complete — but the container preamble plus the
+    manifest leave after only the plan build (the stream's first-byte-out
+    latency), and entry ``j``'s bytes can be on the wire while entry ``j+1``
+    is still being coded.  Within a lossy entry the codec's
+    :meth:`~repro.compressors.base.LossyCompressor.stream_encoder` codes the
+    payload, so the SZ2/SZ3 Huffman stage runs with per-chunk emission
+    scratch even though its pieces are staged until the entry completes.
+
+    Tensors are encoded sequentially in wire order (the per-tensor fan-out of
+    the batch path would not change the bytes — the batch bitstream is
+    bit-identical at any worker count — only their production order, which
+    here *is* the contract).
+
+    After the generator is exhausted, ``report`` holds the same per-call
+    statistics :meth:`FedSZCompressor.compress_with_report` returns and
+    ``peak_scratch_bytes`` the largest per-tensor encoder scratch estimate.
+    """
+
+    def __init__(self, pipeline: FedSZCompressor) -> None:
+        self._pipeline = pipeline
+        self.report: "FedSZReport | None" = None
+        self.peak_scratch_bytes = 0
+
+    @staticmethod
+    def _entry_header(key: str, val_len: int) -> bytes:
+        raw = key.encode("utf-8")
+        return struct.pack("<I", len(raw)) + raw + struct.pack("<Q", val_len)
+
+    def chunks(self, state: dict[str, np.ndarray]) -> "Iterator[bytes]":
+        """Yield the bitstream pieces for ``state`` in wire order."""
+        pipeline = self._pipeline
+        _check_tensor_names(state)
+        start = time.perf_counter()
+        partition = partition_state_dict(state, pipeline.config)
+        plan = pipeline.policy.build_plan(partition.lossy, pipeline._plan_config)
+        if plan.tensor_names != list(partition.lossy):
+            raise ValueError(
+                f"policy {type(pipeline.policy).__name__} returned a plan for "
+                f"{plan.tensor_names!r} but the lossy partition is "
+                f"{list(partition.lossy)!r}; plans must cover every lossy "
+                f"tensor in partition order")
+
+        sent = 0
+        manifest = _MANIFEST_HEADER.pack(_FORMAT_VERSION, len(state)) + pack_plan(plan)
+        preamble = b"FSZB" + struct.pack("<I", 2 + len(partition.lossy)) \
+            + self._entry_header("__manifest__", len(manifest)) + manifest
+        sent += len(preamble)
+        yield preamble
+
+        lossless_raw = pack_arrays(dict(partition.lossless))
+        lossless_payload = pipeline.lossless.compress(lossless_raw)
+        piece = self._entry_header("__lossless__", len(lossless_payload)) \
+            + lossless_payload
+        sent += len(piece)
+        yield piece
+
+        lossy_compressed = 0
+        for name, array in partition.lossy.items():
+            tensor_plan = plan[name]
+            encoder = pipeline._compressor_for(tensor_plan).stream_encoder()
+            staged = [_tag_payload(tensor_plan.codec, b"")]
+            staged.extend(encoder.chunks(array))
+            self.peak_scratch_bytes = max(self.peak_scratch_bytes,
+                                          encoder.scratch_bytes)
+            payload_len = sum(len(p) for p in staged)
+            lossy_compressed += payload_len
+            piece = self._entry_header(f"lossy::{name}", payload_len) \
+                + b"".join(staged)
+            sent += len(piece)
+            yield piece
+
+        elapsed = time.perf_counter() - start
+        self.report = FedSZReport(
+            original_bytes=partition.total_bytes,
+            compressed_bytes=sent,
+            lossy_original_bytes=partition.lossy_bytes,
+            lossy_compressed_bytes=lossy_compressed,
+            lossless_original_bytes=partition.lossless_bytes,
+            lossless_compressed_bytes=len(lossless_payload),
+            compress_seconds=elapsed,
+            plan=plan,
+        )
+        pipeline.last_report = self.report
+        pipeline.last_plan = plan
 
 
 class _LossyStreamSink:

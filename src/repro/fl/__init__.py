@@ -11,6 +11,7 @@ from repro.fl.client import ClientUpdate, FLClient
 from repro.fl.codec import FedSZUpdateCodec, RawUpdateCodec, UpdateCodec
 from repro.fl.coordinator import (
     Aggregator,
+    ArrivalAggregator,
     Coordinator,
     FlatAggregator,
     PartialAggregate,
@@ -61,6 +62,7 @@ __all__ = [
     "RoundPlan",
     "StalenessPolicy",
     "Aggregator",
+    "ArrivalAggregator",
     "FlatAggregator",
     "TreeAggregator",
     "PartialAggregate",

@@ -21,7 +21,50 @@ from repro.core.pipeline import FedSZCompressor, FedSZReport
 from repro.core.plan import CompressionPolicy
 from repro.utils.serialization import pack_arrays, unpack_arrays
 
-__all__ = ["UpdateCodec", "UpdateStreamDecoder", "RawUpdateCodec", "FedSZUpdateCodec"]
+__all__ = ["UpdateCodec", "UpdateStreamDecoder", "UpdateStreamEncoder",
+           "RawUpdateCodec", "FedSZUpdateCodec"]
+
+
+class UpdateStreamEncoder:
+    """Pull-based encoder for one client update's wire bytes.
+
+    :meth:`chunks` yields the update's payload pieces in wire order; their
+    concatenation is byte-identical to :meth:`UpdateCodec.encode` of the same
+    state dict.  The transport starts the simulated transfer at the first
+    piece, so encode overlaps the wire.  This base implementation encodes in
+    one piece (bit-identical, no overlap); FedSZ overrides
+    :meth:`UpdateCodec.stream_encoder` with the pipeline's incremental
+    encoder, whose manifest piece leaves before any tensor is compressed.
+
+    After the generator is exhausted, ``report`` holds the codec's per-call
+    :class:`~repro.core.pipeline.FedSZReport` (``None`` for codecs that
+    collect none) and ``peak_scratch_bytes`` the encoder's peak scratch
+    estimate (0 when untracked).
+    """
+
+    def __init__(self, codec: "UpdateCodec") -> None:
+        self._codec = codec
+        self.report: "FedSZReport | None" = None
+        self.peak_scratch_bytes = 0
+
+    def chunks(self, state: dict[str, np.ndarray]):
+        """Yield the wire payload pieces for ``state``."""
+        payload, self.report = self._codec.encode_with_report(state)
+        yield payload
+
+
+class _FedSZUpdateStreamEncoder(UpdateStreamEncoder):
+    """Streams the FedSZ pipeline encoder's pieces straight to the wire."""
+
+    def __init__(self, compressor: FedSZCompressor) -> None:
+        self._encoder = compressor.stream_encoder()
+        self.report = None
+        self.peak_scratch_bytes = 0
+
+    def chunks(self, state: dict[str, np.ndarray]):
+        yield from self._encoder.chunks(state)
+        self.report = self._encoder.report
+        self.peak_scratch_bytes = self._encoder.peak_scratch_bytes
 
 
 class UpdateStreamDecoder:
@@ -125,6 +168,16 @@ class UpdateCodec(abc.ABC):
         """
         return UpdateStreamDecoder(self)
 
+    def stream_encoder(self) -> UpdateStreamEncoder:
+        """A pull-based encoder for one update's wire bytes.
+
+        The transport drains it to start the simulated transfer at the first
+        ready piece so encode overlaps the wire.  The base implementation
+        emits the whole payload in one piece (bit-identical, no overlap);
+        FedSZ overrides it with the pipeline's incremental encoder.
+        """
+        return UpdateStreamEncoder(self)
+
     @property
     def profiler(self) -> "object | None":
         """The :class:`~repro.core.profiling.CodecProfiler` behind this codec's
@@ -187,6 +240,10 @@ class FedSZUpdateCodec(UpdateCodec):
     def stream_decoder(self) -> _FedSZUpdateStreamDecoder:
         """An incremental decoder running the streaming FedSZ pipeline."""
         return _FedSZUpdateStreamDecoder(self.compressor)
+
+    def stream_encoder(self) -> _FedSZUpdateStreamEncoder:
+        """An incremental encoder running the streaming FedSZ pipeline."""
+        return _FedSZUpdateStreamEncoder(self.compressor)
 
     @property
     def profiler(self) -> "object | None":

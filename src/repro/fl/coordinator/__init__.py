@@ -10,8 +10,9 @@ services — :class:`RoundScheduler` (seeded scenario draws),
 ``FederatedSimulation`` remains the thin synchronous facade over this package.
 """
 
-from repro.fl.coordinator.aggregator import (Aggregator, FlatAggregator,
-                                             PartialAggregate, TreeAggregator,
+from repro.fl.coordinator.aggregator import (Aggregator, ArrivalAggregator,
+                                             FlatAggregator, PartialAggregate,
+                                             TreeAggregator,
                                              weighted_mean_states)
 from repro.fl.coordinator.coordinator import (OVERLAP_MODES, Coordinator,
                                               train_clients_parallel)
@@ -26,8 +27,8 @@ from repro.fl.coordinator.transport import (ShipResult, ShipTask,
                                             ship_update_task)
 
 __all__ = [
-    "Aggregator", "FlatAggregator", "TreeAggregator", "PartialAggregate",
-    "weighted_mean_states",
+    "Aggregator", "ArrivalAggregator", "FlatAggregator", "TreeAggregator",
+    "PartialAggregate", "weighted_mean_states",
     "Coordinator", "train_clients_parallel", "OVERLAP_MODES",
     "RoundJournal", "JournalState", "PartialRoundState", "ShippedEvent",
     "RoundRecord", "SimulationResult",

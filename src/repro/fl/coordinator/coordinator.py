@@ -39,6 +39,7 @@ import numpy as np
 
 from repro.core.network import round_communication_time
 from repro.fl.client import ClientUpdate, FLClient
+from repro.fl.coordinator.aggregator import ArrivalAggregator
 from repro.fl.coordinator.journal import JournalState, RoundJournal, ShippedEvent
 from repro.fl.coordinator.records import RoundRecord, SimulationResult
 from repro.fl.coordinator.residency import (discard_fleet, install_fleet,
@@ -50,7 +51,8 @@ from repro.utils.parallel import (ArenaHandle, ExecutionBackend,
 
 # NOTE: fl/server.py imports the aggregation kernel from this package, so this
 # module must not import fl.server back at runtime — the server below is typed
-# by its duck interface (global_state / aggregate / evaluate / model).
+# by its duck interface (global_state / aggregate / apply_aggregate / evaluate
+# / model).
 
 __all__ = ["Coordinator", "TrainTask", "train_clients_parallel", "OVERLAP_MODES"]
 
@@ -208,7 +210,8 @@ class Coordinator:
                  staleness: "StalenessPolicy | None" = None,
                  journal: "RoundJournal | None" = None,
                  journal_state: "JournalState | None" = None,
-                 persistent: bool = True) -> None:
+                 persistent: bool = True,
+                 aggregate_on_arrival: bool = False) -> None:
         if overlap not in OVERLAP_MODES:
             raise ValueError(f"overlap must be one of {OVERLAP_MODES}, got {overlap!r}")
         if round_deadline_s is not None and round_deadline_s <= 0:
@@ -227,6 +230,12 @@ class Coordinator:
         self.max_workers = max_workers
         self.overlap = overlap
         self.round_deadline_s = round_deadline_s
+        # aggregate-on-arrival folds each decoded update into a running
+        # compensated partial as its ship completes (bit-identical to the
+        # batch aggregation; see ArrivalAggregator).  A round deadline makes
+        # membership depend on per-ship transfer times, so deadline rounds
+        # degrade to batch-at-end aggregation.
+        self.aggregate_on_arrival = bool(aggregate_on_arrival)
         self.staleness = staleness if staleness is not None else StalenessPolicy()
         self.journal = journal
         self.persistent = bool(persistent)
@@ -302,6 +311,31 @@ class Coordinator:
                     *(self.transport.ship_async(task) for task in tasks))
             return list(asyncio.run(_all_uplinks()))
         return self.transport.ship_batch(tasks)
+
+    def _ship_arrival(self, tasks: "list[ShipTask]", on_arrival) -> None:
+        """Ship a round's updates, invoking ``on_arrival(index, result)`` as
+        each completes instead of materializing the full result list.
+
+        The aggregate-on-arrival driver: the handler folds each decoded update
+        into the running aggregate and releases its buffers, so peak resident
+        updates is the in-flight window, not the round's fan-in.  Results may
+        arrive out of task order under concurrency; every result carries the
+        same values the batch path would (the transport's contract).
+        """
+        if not tasks:
+            return
+        if self.overlap == "async":
+            async def _all_uplinks():
+                async def _one(index: int, task: ShipTask):
+                    return index, await self.transport.ship_async(task)
+                pending = [_one(index, task) for index, task in enumerate(tasks)]
+                for next_done in asyncio.as_completed(pending):
+                    index, result = await next_done
+                    on_arrival(index, result)
+            asyncio.run(_all_uplinks())
+            return
+        for index, result in self.transport.ship_iter(tasks):
+            on_arrival(index, result)
 
     # -- persistent runtime -------------------------------------------------
     @contextlib.contextmanager
@@ -418,6 +452,66 @@ class Coordinator:
                 self.clients[cid].receive_global(update.state)
         return updates
 
+    def _aggregate_arrivals(self, round_index: int, plan, tasks: "list[ShipTask]",
+                            fresh_ids: "list[int]", updates: "list[ClientUpdate]",
+                            shipments: "dict[int, _Shipment]",
+                            admitted: "list[_LateUpdate]") -> "int | None":
+        """Ship and fold: each update merges into the running aggregate as its
+        ship lands, and its buffers are released, so server-side peak decoded-
+        update residency is the transport's in-flight window — O(workers), not
+        O(participants).  Bit-identical to the batch path because the weight
+        vector, the leaves, and the fold order are exactly
+        :class:`FlatAggregator`'s (participants in plan order, then admitted
+        late updates); arrival order moves only the wall-clock moment of each
+        merge.  Returns the peak resident update count (``None`` when the
+        round aggregated nothing).
+        """
+        samples = {cid: update.num_samples
+                   for cid, update in zip(fresh_ids, updates)}
+        for cid, shipment in shipments.items():
+            samples[cid] = shipment.num_samples
+        weights = [samples[cid] for cid in plan.participants] \
+            + [late.num_samples for late in admitted]
+        if not weights:
+            self.server.aggregate([], [], allow_empty=True)
+            return None
+        arrival = ArrivalAggregator(weights)
+        position = {cid: index for index, cid in enumerate(plan.participants)}
+        # replayed ships and admitted late updates are already decoded — they
+        # take their reorder slots up front (they were resident regardless:
+        # the journal replay and the staleness queue held them)
+        for cid, shipment in shipments.items():
+            arrival.add(position[cid], shipment.result.state)
+            shipment.result.state = {}
+        for offset, late in enumerate(admitted):
+            arrival.add(len(plan.participants) + offset, late.state)
+
+        def _on_arrival(index: int, result: ShipResult) -> None:
+            cid = fresh_ids[index]
+            update = updates[index]
+            shipment = _Shipment(result=result,
+                                 train_seconds=update.train_seconds,
+                                 train_loss=update.train_loss,
+                                 num_samples=update.num_samples)
+            shipments[cid] = shipment
+            if self.journal is not None:
+                # journaled at arrival — event order follows completion order,
+                # but replay keys events by client, so resume is unaffected
+                self.journal.record_shipped(round_index, result,
+                                            shipment.train_seconds,
+                                            shipment.train_loss,
+                                            shipment.num_samples,
+                                            status="ontime")
+            arrival.add(position[cid], result.state)
+            # folded: the decoded update (and any journaled payload copy) is
+            # not needed again — release before the next ship lands
+            result.state = {}
+            result.payload = None
+
+        self._ship_arrival(tasks, _on_arrival)
+        self.server.apply_aggregate(arrival.finalize())
+        return max(arrival.peak_resident, 1)
+
     def _profile_cache_counters(self) -> "dict[str, int] | None":
         """Fleet-wide profiler cache counters, or None without profilers.
 
@@ -474,33 +568,12 @@ class Coordinator:
                      keep_payload=keep_payload)
             for cid, update in zip(fresh_ids, updates)
         ]
-        results = self._ship(tasks)
-
-        shipments: "dict[int, _Shipment]" = {}
-        for cid, update, result in zip(fresh_ids, updates, results):
-            shipment = _Shipment(result=result, train_seconds=update.train_seconds,
-                                 train_loss=update.train_loss,
-                                 num_samples=update.num_samples)
-            # lateness is decided on the *modeled* transfer time, which is
-            # analytic and straggler-inflated — never on wall clock
-            shipment.late = (self.round_deadline_s is not None
-                             and result.transfer_seconds > self.round_deadline_s)
-            shipments[cid] = shipment
-        for cid, event in replayed.items():
-            shipments[cid] = self._materialize(event)
-
-        if self.journal is not None:
-            for cid in plan.participants:
-                shipment = shipments[cid]
-                if shipment.replayed:
-                    continue  # already journaled by the interrupted run
-                self.journal.record_shipped(
-                    round_index, shipment.result, shipment.train_seconds,
-                    shipment.train_loss, shipment.num_samples,
-                    status="late" if shipment.late else "ontime")
 
         # staleness triage: previously-queued late updates are absorbed at the
-        # first admissible round and dropped once they expire
+        # first admissible round and dropped once they expire.  A pure
+        # function of the queue and the round index, computed before shipping
+        # because the arrival path needs the admitted set (and with it the
+        # round's complete weight vector) before the first ship lands.
         admitted = [late for late in self._pending_late
                     if self.staleness.admits(late.origin_round, round_index)]
         admitted.sort(key=lambda late: (late.origin_round, late.client_id))
@@ -508,13 +581,51 @@ class Coordinator:
                               if not self.staleness.admits(late.origin_round, round_index)
                               and not self.staleness.expired(late.origin_round, round_index)]
 
-        ontime = [cid for cid in plan.participants if not shipments[cid].late]
-        late_ids = [cid for cid in plan.participants if shipments[cid].late]
-        states = [shipments[cid].result.state for cid in ontime] \
-            + [late.state for late in admitted]
-        weights = [shipments[cid].num_samples for cid in ontime] \
-            + [late.num_samples for late in admitted]
-        self.server.aggregate(states, weights, allow_empty=True)
+        shipments: "dict[int, _Shipment]" = {}
+        for cid, event in replayed.items():
+            shipments[cid] = self._materialize(event)
+
+        # aggregate-on-arrival needs the round's membership fixed before the
+        # first ship completes: no deadline means no fresh ship can be late,
+        # and a resumed journal must not carry late-status replays either
+        arrival_active = (self.aggregate_on_arrival
+                          and self.round_deadline_s is None
+                          and not any(s.late for s in shipments.values()))
+        if arrival_active:
+            peak_residency = self._aggregate_arrivals(
+                round_index, plan, tasks, fresh_ids, updates, shipments, admitted)
+            ontime = list(plan.participants)
+            late_ids: "list[int]" = []
+        else:
+            results = self._ship(tasks)
+            for cid, update, result in zip(fresh_ids, updates, results):
+                shipment = _Shipment(result=result, train_seconds=update.train_seconds,
+                                     train_loss=update.train_loss,
+                                     num_samples=update.num_samples)
+                # lateness is decided on the *modeled* transfer time, which is
+                # analytic and straggler-inflated — never on wall clock
+                shipment.late = (self.round_deadline_s is not None
+                                 and result.transfer_seconds > self.round_deadline_s)
+                shipments[cid] = shipment
+
+            if self.journal is not None:
+                for cid in plan.participants:
+                    shipment = shipments[cid]
+                    if shipment.replayed:
+                        continue  # already journaled by the interrupted run
+                    self.journal.record_shipped(
+                        round_index, shipment.result, shipment.train_seconds,
+                        shipment.train_loss, shipment.num_samples,
+                        status="late" if shipment.late else "ontime")
+
+            ontime = [cid for cid in plan.participants if not shipments[cid].late]
+            late_ids = [cid for cid in plan.participants if shipments[cid].late]
+            states = [shipments[cid].result.state for cid in ontime] \
+                + [late.state for late in admitted]
+            weights = [shipments[cid].num_samples for cid in ontime] \
+                + [late.num_samples for late in admitted]
+            self.server.aggregate(states, weights, allow_empty=True)
+            peak_residency = len(states) if states else None
 
         start = time.perf_counter()
         accuracy = self.server.evaluate()
@@ -542,6 +653,10 @@ class Coordinator:
         def _mean(values: "list[float]") -> float:
             return float(np.mean(values)) if values else 0.0
 
+        # streamed-encode measurements ride on fresh ships only (replayed
+        # shipments rebuild without them) and are None-off like profile_cache
+        streamed = [s.result for s in ordered
+                    if s.result.first_byte_seconds is not None]
         record = RoundRecord(
             round_index=round_index,
             accuracy=accuracy,
@@ -563,6 +678,13 @@ class Coordinator:
             absorbed_clients={late.client_id: late.origin_round
                               for late in admitted},
             profile_cache=self._profile_cache_counters(),
+            peak_encode_scratch_bytes=max(
+                (s.result.encode_scratch_bytes for s in ordered), default=0),
+            mean_first_byte_seconds=_mean(
+                [r.first_byte_seconds for r in streamed]) if streamed else None,
+            mean_encode_overlap_seconds=_mean(
+                [r.encode_overlap_seconds for r in streamed]) if streamed else None,
+            peak_update_residency=peak_residency,
         )
         if self.journal is not None:
             self.journal.complete_round(record, self.server.global_state())

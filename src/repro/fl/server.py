@@ -91,6 +91,19 @@ class FedAvgServer:
         self.model.load_state_dict(new_state)
         return new_state
 
+    def apply_aggregate(self, new_state: dict[str, np.ndarray]) \
+            -> dict[str, np.ndarray]:
+        """Install an externally-aggregated state into the global model.
+
+        The coordinator's aggregate-on-arrival path folds client states into a
+        running partial as ships complete (see
+        :class:`~repro.fl.coordinator.aggregator.ArrivalAggregator`) and hands
+        the finalized state here — bit-identical to :meth:`aggregate` of the
+        same states, without ever holding them all resident.
+        """
+        self.model.load_state_dict(new_state)
+        return new_state
+
     def evaluate(self, dataset: Dataset | None = None, batch_size: int = 128) -> float:
         """Top-1 accuracy of the global model on the held-out set.
 

@@ -52,6 +52,19 @@ full-participation semantics, which the test suite pins bit-for-bit):
   decoder, fed on the link's analytic packet schedule so decompression
   overlaps the transfer (bit-identical outputs; per-client overlap is
   reported on ``ShipResult.decode_overlap_seconds``).
+* ``streaming_encode`` — encode each update through the codec's incremental
+  stream encoder and start the simulated transfer at the first ready payload
+  piece, so compression overlaps the transfer window (bit-identical outputs;
+  per-client hidden encode time is reported on
+  ``ShipResult.encode_overlap_seconds``, and the round record carries the
+  fleet's mean first-byte-out latency and peak encode scratch).
+* ``aggregate_on_arrival`` — fold each decoded update into the running
+  compensated aggregate as its ship completes instead of holding every state
+  until the round ends; bit-identical to batch aggregation (same weights,
+  same fold order), with server-side peak update residency bounded by the
+  transport's concurrency instead of the round's fan-in.  Rounds with a
+  ``round_deadline_s`` degrade to batch-at-end (membership is not known
+  until every modeled transfer time is).
 * ``persistent`` — ``True`` (default) backs :meth:`run` with one long-lived
   worker pool for the whole run and, on pickling backends, worker-resident
   client shards (train tasks ship O(model state), not O(dataset shard));
@@ -116,7 +129,9 @@ class FederatedSimulation:
                  journal_dir=None, resume: bool = False,
                  round_deadline_s: float | None = None,
                  max_staleness: int = 0, overlap: str = "pool",
-                 streaming: bool = False, persistent: bool = True) -> None:
+                 streaming: bool = False, streaming_encode: bool = False,
+                 aggregate_on_arrival: bool = False,
+                 persistent: bool = True) -> None:
         if max_workers is not None and max_workers < 1:
             raise ValueError("max_workers must be >= 1")
         self.backend = get_backend(backend)  # unknown names raise ValueError
@@ -194,7 +209,8 @@ class FederatedSimulation:
 
         self.transport = SimulatedTransport(backend=self.backend,
                                             max_workers=max_workers,
-                                            streaming=streaming)
+                                            streaming=streaming,
+                                            streaming_encode=streaming_encode)
         self.coordinator = Coordinator(
             clients=self.clients, server=self.server, scheduler=self.scheduler,
             transport=self.transport, client_codecs=self.client_codecs,
@@ -205,7 +221,7 @@ class FederatedSimulation:
             round_deadline_s=round_deadline_s,
             staleness=StalenessPolicy(max_staleness=max_staleness),
             journal=self.journal, journal_state=journal_state,
-            persistent=persistent)
+            persistent=persistent, aggregate_on_arrival=aggregate_on_arrival)
 
     # ------------------------------------------------------------------
     @property
