@@ -196,6 +196,18 @@ def build_parser() -> argparse.ArgumentParser:
                                "simulated transfer at the first ready payload "
                                "piece, overlapping compression with the "
                                "transfer (bit-identical results)")
+    simulate.add_argument("--delta", action="store_true",
+                          help="ship error-feedback residuals against the "
+                               "broadcast state (v5 delta frames) on the "
+                               "fedsz half of the comparison: clients with a "
+                               "warm reference send state - reference instead "
+                               "of the full state, degrading to full-state "
+                               "frames after any gap")
+    simulate.add_argument("--no-delta-codebooks", action="store_true",
+                          help="ablation for --delta: keep delta framing and "
+                               "error feedback but rebuild Huffman code "
+                               "tables every round instead of reusing "
+                               "per-tensor codebooks while drift stays low")
     simulate.add_argument("--aggregate-on-arrival", action="store_true",
                           help="fold each decoded update into the running "
                                "aggregate as its ship completes instead of "
@@ -296,7 +308,9 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
                                       journal_dir=journal_dir, resume=args.resume,
                                       streaming=args.streaming,
                                       streaming_encode=args.streaming_encode,
-                                      aggregate_on_arrival=args.aggregate_on_arrival)
+                                      aggregate_on_arrival=args.aggregate_on_arrival,
+                                      delta=args.delta and label == "fedsz",
+                                      delta_codebooks=not args.no_delta_codebooks)
         except ValueError as exc:
             # round-engine ranges that need cross-flag context (--participation
             # count vs --clients, --workers >= 1, probability ranges) plus
@@ -349,6 +363,17 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
                         default=0)
         print(f"aggregate on arrival: peak resident decoded updates {residency} "
               f"(fleet size {args.clients})")
+    if args.delta:
+        rounds = fedsz.rounds
+        shipped = sum(len(r.delta_clients) for r in rounds)
+        degrades = sum(len(r.delta_degrades) for r in rounds)
+        per_round = " ".join(str(len(r.delta_clients)) for r in rounds)
+        print(f"delta shipping: {shipped} residual ships / {degrades} "
+              f"full-state degrades (per round: {per_round})")
+        cb = rounds[-1].codebook_cache if rounds else None
+        if cb is not None:
+            print(f"codebook cache: {cb['reuses']} reuses / {cb['drifts']} "
+                  f"drifts / {cb['misses']} misses")
     return 0
 
 

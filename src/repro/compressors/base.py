@@ -140,6 +140,12 @@ class LossyCompressor(Compressor):
     _DTYPE_CODES = {np.dtype(np.float32): 0, np.dtype(np.float64): 1}
     _CODE_DTYPES = {0: np.dtype(np.float32), 1: np.dtype(np.float64)}
 
+    #: Armed per-tensor codebook channel (warm Huffman-table reuse, see
+    #: :mod:`repro.compressors.codebook`).  Always ``None`` on directly
+    #: constructed instances; the pipeline arms a shallow copy per tensor via
+    #: :meth:`with_codebook` so shared instances stay race-free.
+    _codebook = None
+
     def __init__(self, error_bound: ErrorBound | float = 1e-2,
                  mode: ErrorBoundMode | str = ErrorBoundMode.REL) -> None:
         if isinstance(error_bound, ErrorBound):
@@ -280,6 +286,19 @@ class LossyCompressor(Compressor):
         clone = type(self).__new__(type(self))
         clone.__dict__.update(self.__dict__)
         clone.error_bound = bound
+        return clone
+
+    def with_codebook(self, channel) -> "LossyCompressor":
+        """Return a shallow copy with a per-tensor codebook channel armed.
+
+        The copy shares every configured sub-component (entropy coder,
+        lossless backend, quantizer — all stateless per call); only the
+        channel slot differs, so arming never races encodes of other tensors
+        on the original instance.
+        """
+        clone = type(self).__new__(type(self))
+        clone.__dict__.update(self.__dict__)
+        clone._codebook = channel
         return clone
 
 

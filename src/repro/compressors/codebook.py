@@ -1,0 +1,222 @@
+"""Warm reuse of canonical Huffman code tables across rounds.
+
+The SZ2/SZ3 entropy stage builds a fresh Huffman tree (a Python ``heapq``
+pass over the symbol histogram) for every tensor of every update.  In a
+federated run the quantization-code distribution of one tensor drifts slowly
+round over round, so the previous round's code table is usually still
+near-optimal.  This module implements the reuse decision and the per-client
+bookkeeping:
+
+* :class:`CodebookChannel` — one tensor's armed slot for a single encode.
+  :meth:`CodebookChannel.select` applies the drift rule to the pinned table
+  and the current symbols; :meth:`CodebookChannel.commit` records the table
+  the encode actually embedded so the owner can pin it for the next round.
+* :class:`CodebookStore` — the per-client, coordinator-side table cache.  It
+  arms channels before an encode and commits the returned records after,
+  mirroring the profile cache's hit/miss/drift counters.
+
+Drift rule (documented in FORMATS.md): the pinned table is reused iff it
+*covers* every symbol present in the stream (a code length > 0 for each) and
+its entropy excess is small::
+
+    sum(p * len) - H  <=  threshold * max(H, 1.0)
+
+where ``p`` is the empirical symbol distribution, ``len`` the pinned code
+lengths, and ``H = -sum(p * log2 p)`` the stream's empirical entropy.  The
+left side is exactly the mean extra bits per symbol paid for reusing a stale
+table, so the rule bounds the size regression to ``threshold`` of the
+entropy-optimal cost.  The decision is a pure function of the pinned table
+and the symbols — deterministic across backends and worker counts.
+
+Reuse changes payload bytes (the stale table is embedded in the stream), so
+everything here is deterministic state: the coordinator journals committed
+tables alongside the error-feedback accumulators (see ``fl/delta.py``) and
+replays them bit-identically on resume.  Decode needs none of this — the
+code-length table always rides the ``HUF3`` stream.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compressors.huffman import _build_code_lengths
+
+__all__ = ["CodebookChannel", "CodebookStore", "DEFAULT_DRIFT_THRESHOLD",
+           "PAD_MARGIN", "armed_producer", "decide_reuse", "entropy_encode",
+           "padded_lengths"]
+
+#: Accept up to 2% mean extra bits per symbol over the entropy-optimal cost
+#: before rebuilding the table.  Small enough that the size regression is
+#: invisible next to the round-over-round ratio win, large enough that slow
+#: distribution drift keeps hitting.
+DEFAULT_DRIFT_THRESHOLD = 0.02
+
+#: Pseudo-count padding (symbols on each side of the used range) applied when
+#: an armed channel builds a fresh table.  The quantization-code alphabet's
+#: extreme tail wanders by a few symbols round over round, and coverage is
+#: mandatory — an unpadded table would fail the reuse test on almost every
+#: round for that reason alone.  Padding the histogram with count-1 bins
+#: around the used range (and the outlier escape, symbol 0) costs a few table
+#: bytes and a negligible optimality loss, and makes the next round's
+#: slightly wider alphabet coverable.
+PAD_MARGIN = 64
+
+
+def decide_reuse(pin_lengths: np.ndarray, symbols: np.ndarray,
+                 threshold: float = DEFAULT_DRIFT_THRESHOLD) -> bool:
+    """True iff ``pin_lengths`` may encode ``symbols`` under the drift rule.
+
+    ``pin_lengths`` is an int64 per-symbol code-length table (0 = unused)
+    from a previous build; ``symbols`` the current non-negative symbol
+    stream.  Coverage is mandatory — a present symbol without a code can
+    never be reused; beyond that the entropy-excess criterion above decides.
+    """
+    if symbols.size == 0:
+        return False
+    top = int(symbols.max()) + 1
+    if top > pin_lengths.size:
+        return False
+    freqs = np.bincount(symbols, minlength=top)
+    used = np.flatnonzero(freqs)
+    lens = pin_lengths[used]
+    if np.any(lens == 0):
+        return False
+    p = freqs[used].astype(np.float64) / symbols.size
+    entropy = float(-np.sum(p * np.log2(p)))
+    cost = float(np.sum(p * lens))
+    return (cost - entropy) <= threshold * max(entropy, 1.0)
+
+
+def padded_lengths(symbols: np.ndarray, margin: int = PAD_MARGIN) -> np.ndarray:
+    """Canonical code lengths over a pseudo-count-padded histogram.
+
+    Every zero-count bin within ``margin`` symbols of the used range (plus
+    the outlier escape, symbol 0) gets a count of 1 before the tree build,
+    so the resulting table assigns a (long) code to symbols the next round
+    is likely to introduce.  Pseudo-counts never emit bits — they only widen
+    coverage — so the only costs are the larger embedded table and a slight
+    loss of code optimality for the real symbols.
+    """
+    lo = max(int(symbols.min()) - margin, 0)
+    hi = int(symbols.max()) + margin
+    freqs = np.bincount(symbols, minlength=hi + 1).astype(np.int64)
+    pad = np.zeros(hi + 1, dtype=bool)
+    pad[lo:] = True
+    pad[0] = True
+    freqs[pad & (freqs == 0)] = 1
+    return _build_code_lengths(freqs)
+
+
+def armed_producer(huffman, symbols: np.ndarray, channel):
+    """The :class:`~repro.compressors.huffman.ChunkBandProducer` for one
+    armed encode: the pinned table when the drift rule accepts it, otherwise
+    a fresh *padded* build (see :func:`padded_lengths`).  The table actually
+    embedded is committed back to the channel either way.  Shared by the
+    batch (:func:`entropy_encode`) and streaming encode paths so both emit
+    byte-identical warm streams.
+    """
+    lengths = channel.select(symbols)
+    if lengths is None and symbols.size:
+        lengths = padded_lengths(symbols, channel.margin)
+    producer = huffman.stream_producer(symbols, lengths=lengths)
+    channel.commit(producer)
+    return producer
+
+
+def entropy_encode(huffman, symbols: np.ndarray, channel) -> bytes:
+    """Huffman-encode ``symbols``, consulting ``channel`` when armed.
+
+    With ``channel=None`` this is exactly ``huffman.encode(symbols)`` —
+    byte-identical, so the warm path is strictly opt-in.  With a channel the
+    drift rule picks between the pinned table and a fresh padded build, and
+    the table actually embedded is recorded on the channel for the caller's
+    report.
+    """
+    if channel is None:
+        return huffman.encode(symbols)
+    return huffman.assemble(armed_producer(huffman, symbols, channel))
+
+
+class CodebookChannel:
+    """One tensor's armed codebook slot for a single encode.
+
+    The channel travels inside the compressor into whatever worker runs the
+    encode (it pickles cheaply: a key, an optional small length table, and a
+    threshold).  The worker mutates only its own copy; the decision and the
+    used table come back to the coordinator in the encode report, never
+    through shared state — which is what keeps the process backend
+    bit-identical to the serial one.
+    """
+
+    __slots__ = ("key", "pin", "threshold", "margin", "decision", "table")
+
+    def __init__(self, key: str, pin: "np.ndarray | None" = None,
+                 threshold: float = DEFAULT_DRIFT_THRESHOLD,
+                 margin: int = PAD_MARGIN) -> None:
+        self.key = key
+        self.pin = pin                  # int64 code-length table or None
+        self.threshold = threshold
+        self.margin = margin            # fresh-build pseudo-count padding
+        self.decision: "str | None" = None  # "reused" | "drift" | "miss"
+        self.table: "bytes | None" = None   # uint8 table the encode embedded
+
+    def select(self, symbols: np.ndarray) -> "np.ndarray | None":
+        """The length table to pin for this encode (``None`` = build fresh)."""
+        if self.pin is not None and decide_reuse(self.pin, symbols, self.threshold):
+            self.decision = "reused"
+            return self.pin
+        self.decision = "drift" if self.pin is not None else "miss"
+        return None
+
+    def commit(self, producer) -> None:
+        """Record the table a :class:`ChunkBandProducer` actually embedded."""
+        self.table = producer.code_lengths
+
+    @property
+    def record(self) -> "tuple[str, str, bytes | None] | None":
+        """The ``(key, decision, table)`` triple to report, if an encode ran."""
+        if self.decision is None:
+            return None
+        return self.key, self.decision, self.table
+
+
+class CodebookStore:
+    """Per-client canonical-code tables pinned across rounds.
+
+    Lives coordinator-side (one per client); keys are ``"codec:tensor"``
+    strings so a profiled-policy codec flip starts a fresh table instead of
+    reusing another codec's symbol space.  The whole store serializes to a
+    plain ``dict[str, bytes]`` for the journal sidecar.
+    """
+
+    def __init__(self, threshold: float = DEFAULT_DRIFT_THRESHOLD) -> None:
+        self.threshold = threshold
+        self.tables: dict[str, bytes] = {}
+        self.counters = {"reuses": 0, "drifts": 0, "misses": 0}
+
+    def channel(self, key: str) -> CodebookChannel:
+        """Arm a channel for one tensor encode."""
+        pin_bytes = self.tables.get(key)
+        pin = np.frombuffer(pin_bytes, dtype=np.uint8).astype(np.int64) \
+            if pin_bytes else None
+        return CodebookChannel(key, pin, self.threshold)
+
+    def commit(self, records: "dict[str, tuple[str, bytes | None]]") -> None:
+        """Fold the per-tensor ``(decision, table)`` records of one encode."""
+        names = {"reused": "reuses", "drift": "drifts", "miss": "misses"}
+        for key, (decision, table) in records.items():
+            self.counters[names[decision]] += 1
+            if decision != "reused" and table:
+                self.tables[key] = table
+
+    def snapshot(self) -> dict[str, bytes]:
+        """The pinned tables as a plain dict (for the journal sidecar)."""
+        return dict(self.tables)
+
+    def restore(self, tables: dict[str, bytes]) -> None:
+        """Replace the pinned tables (journal resume)."""
+        self.tables = dict(tables)
+
+    def invalidate(self) -> None:
+        """Drop every pinned table (reference invalidation path)."""
+        self.tables.clear()

@@ -57,6 +57,7 @@ decoder needs no side channel.
 
 from __future__ import annotations
 
+import functools
 import heapq
 import os
 import struct
@@ -210,6 +211,23 @@ def _build_decode_tables(lengths: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     return table_sym, table_len
 
 
+@functools.lru_cache(maxsize=128)
+def _decode_tables_cached(length_table: bytes) -> tuple[np.ndarray, np.ndarray]:
+    """Memoized :func:`_build_decode_tables` keyed by the raw length-table bytes.
+
+    Every band of one stream (and every stream re-using one code table, e.g.
+    warm-codebook rounds) shares the same 64K-entry window tables, so the
+    two ``np.repeat`` calls run once per distinct table per worker process
+    instead of once per :func:`_decode_band_task`.  The cached arrays are
+    marked read-only because they are shared across callers.
+    """
+    lengths = np.frombuffer(length_table, dtype=np.uint8).astype(np.int64)
+    table_sym, table_len = _build_decode_tables(lengths)
+    table_sym.setflags(write=False)
+    table_len.setflags(write=False)
+    return table_sym, table_len
+
+
 def _byte_windows(bit_bytes: np.ndarray, pad_bytes: int) -> np.ndarray:
     """24-bit big-endian windows starting at every byte, zero-padded at the end.
 
@@ -228,12 +246,12 @@ def _decode_band_task(task: "tuple[bytes, bytes, np.ndarray, np.ndarray, np.ndar
     the task tuple ``(bit_slice, length_table, bit_offsets, sym_counts,
     chunk_ends)`` pickles cheaply (offsets are relative to the slice), and the
     decoded symbol band is *returned* instead of written into shared memory.
-    The 64K-entry window tables are rebuilt per band — two ``np.repeat`` calls,
-    negligible against the band decode itself.
+    The 64K-entry window tables come from the per-worker
+    :func:`_decode_tables_cached` LRU, so a multi-band decode of one stream
+    builds them once per worker instead of once per band.
     """
     bit_slice, length_table, bit_offsets, sym_counts, chunk_ends = task
-    lengths = np.frombuffer(length_table, dtype=np.uint8).astype(np.int64)
-    table_sym, table_len = _build_decode_tables(lengths)
+    table_sym, table_len = _decode_tables_cached(length_table)
     bit_bytes = np.frombuffer(bit_slice, dtype=np.uint8)
     sym_starts = np.concatenate([[0], np.cumsum(sym_counts)[:-1]])
     out = np.empty(int(sym_counts.sum()), dtype=np.int64)
@@ -432,7 +450,7 @@ class ChunkBandConsumer:
         self._header = (lengths, bit_offsets, sym_counts, sym_starts,
                         chunk_ends, count, offset)
         if count:
-            self._tables = _build_decode_tables(lengths)
+            self._tables = _decode_tables_cached(lengths.astype(np.uint8).tobytes())
             self._out = np.empty(count, dtype=np.int64)
 
     def _ready_chunks(self) -> int:
@@ -541,7 +559,8 @@ class ChunkBandProducer:
     """
 
     def __init__(self, symbols: np.ndarray,
-                 chunk_size: int = DEFAULT_CHUNK_SYMBOLS) -> None:
+                 chunk_size: int = DEFAULT_CHUNK_SYMBOLS,
+                 lengths: "np.ndarray | None" = None) -> None:
         if not 1 <= chunk_size <= 0xFFFFFFFF:
             raise ValueError("chunk_size must be in [1, 2**32 - 1] (stored as u32)")
         symbols = np.ascontiguousarray(symbols).ravel()
@@ -552,6 +571,7 @@ class ChunkBandProducer:
         self._bands_done = count == 0
         if count == 0:
             self.n_chunks = 0
+            self.code_lengths: "bytes | None" = None
             self.pinned_header = _HEADER.pack(0, 0, chunk_size, 0) + \
                 struct.pack("<Q", 0)
             self._crc = zlib.crc32(self.pinned_header)
@@ -559,11 +579,27 @@ class ChunkBandProducer:
             self.peak_scratch_bytes = 0
             return
         self._symbols = symbols = symbols.astype(np.int64, copy=False)
-        alphabet = int(symbols.max()) + 1
-        freqs = np.bincount(symbols, minlength=alphabet)
-        lengths = _build_code_lengths(freqs)
+        pinned = lengths is not None
+        if pinned:
+            # a pinned table from a previous build (warm codebook reuse);
+            # it must cover the whole alphabet — an uncovered symbol would
+            # produce an undecodable stream, so fail loudly here
+            lengths = np.asarray(lengths, dtype=np.int64)
+            alphabet = lengths.size
+            if alphabet == 0 or int(symbols.max()) >= alphabet:
+                raise ValueError("pinned code-length table does not cover the "
+                                 "symbol alphabet")
+            if int(lengths.max()) > MAX_CODE_LENGTH:
+                raise ValueError(f"pinned code length exceeds {MAX_CODE_LENGTH}")
+        else:
+            alphabet = int(symbols.max()) + 1
+            freqs = np.bincount(symbols, minlength=alphabet)
+            lengths = _build_code_lengths(freqs)
         self._codes = _canonical_codes(lengths).astype(np.uint64)
         self._sym_lengths = lengths[symbols]
+        if pinned and int(self._sym_lengths.min()) == 0:
+            raise ValueError("pinned code-length table assigns no code to a "
+                             "present symbol")
         self._max_len = int(lengths.max())
         bit_ends = np.cumsum(self._sym_lengths)
         total_bits = int(bit_ends[-1])
@@ -577,10 +613,11 @@ class ChunkBandProducer:
         index[:, 0] = offsets
         index[:, 1] = np.minimum(chunk, count - starts).astype(np.uint64)
 
+        self.code_lengths = lengths.astype(np.uint8).tobytes()
         header = bytearray(_HEADER.size + alphabet + 16 * starts.size + 8)
         _HEADER.pack_into(header, 0, alphabet, count, chunk, starts.size)
         pos = _HEADER.size
-        header[pos:pos + alphabet] = lengths.astype(np.uint8).tobytes()
+        header[pos:pos + alphabet] = self.code_lengths
         pos += alphabet
         header[pos:pos + 16 * starts.size] = index.tobytes()
         pos += 16 * starts.size
@@ -692,7 +729,8 @@ class HuffmanCoder:
         """Symbols per chunk for a ``count``-symbol stream (never above the cap)."""
         return min(self.chunk_size, max(_MIN_CHUNK_SYMBOLS, count // _TARGET_CHUNKS))
 
-    def encode(self, symbols: np.ndarray) -> bytes:
+    def encode(self, symbols: np.ndarray,
+               lengths: "np.ndarray | None" = None) -> bytes:
         """Encode ``symbols`` (any integer dtype, values >= 0) to bytes.
 
         The stream is assembled chunk by chunk through
@@ -700,8 +738,15 @@ class HuffmanCoder:
         chunk bounds the vectorized-emission scratch to a single chunk's bit
         matrix instead of the whole stream's, and the single output buffer
         replaces the former chain of intermediate ``bytes`` concatenations.
+        ``lengths`` optionally pins a code-length table from a previous build
+        (warm codebook reuse), skipping the histogram + tree construction.
         """
-        producer = ChunkBandProducer(symbols, self.chunk_size)
+        return self.assemble(ChunkBandProducer(symbols, self.chunk_size,
+                                               lengths=lengths))
+
+    @staticmethod
+    def assemble(producer: ChunkBandProducer) -> bytes:
+        """Drain ``producer`` into one contiguous stream buffer."""
         out = bytearray(producer.stream_length)
         pos = _PREFIX_LEN + len(producer.pinned_header)
         out[_PREFIX_LEN:pos] = producer.pinned_header
@@ -711,14 +756,16 @@ class HuffmanCoder:
         out[:_PREFIX_LEN] = producer.magic_and_crc()
         return bytes(out)
 
-    def stream_producer(self, symbols: np.ndarray) -> ChunkBandProducer:
+    def stream_producer(self, symbols: np.ndarray,
+                        lengths: "np.ndarray | None" = None) -> ChunkBandProducer:
         """Return a :class:`ChunkBandProducer` over ``symbols``.
 
         The producer uses this coder's ``chunk_size``, so its byte-order
         stream (:meth:`ChunkBandProducer.chunks`) concatenates to exactly
-        what :meth:`encode` returns.
+        what :meth:`encode` returns.  ``lengths`` optionally pins a
+        code-length table exactly as in :meth:`encode`.
         """
-        return ChunkBandProducer(symbols, self.chunk_size)
+        return ChunkBandProducer(symbols, self.chunk_size, lengths=lengths)
 
     def stream_consumer(self, max_workers: int | None = None,
                         backend: "str | ExecutionBackend | None" = None
@@ -811,7 +858,7 @@ class HuffmanCoder:
         workers = self.max_workers if max_workers is None else max_workers
         workers = exec_backend.resolve_workers(workers, n_chunks)
         if workers == 1 or n_chunks < _MIN_VECTOR_CHUNKS:
-            table_sym, table_len = _build_decode_tables(lengths)
+            table_sym, table_len = _decode_tables_cached(lengths.astype(np.uint8).tobytes())
             out = np.empty(count, dtype=np.int64)
             self._decode_scalar(bit_bytes, bit_offsets, sym_counts, sym_starts,
                                 chunk_ends, table_sym, table_len, out)

@@ -87,22 +87,29 @@ class LinearQuantizer:
 
     def dequantize(self, codes: np.ndarray, outliers: np.ndarray, predictions: np.ndarray,
                    abs_bound: float) -> np.ndarray:
-        """Invert :meth:`quantize` given the same predictions."""
+        """Invert :meth:`quantize` given the same predictions.
+
+        Mirrors the scratch discipline of :meth:`quantize`: one float64
+        buffer (`work`) serves as the shifted quotient, the scaled residual,
+        and finally the reconstruction, with every operation the same float64
+        arithmetic as the naive expression-per-temporary form — bit-identical
+        results, one full-size temporary instead of four.
+        """
         codes = np.asarray(codes, dtype=np.int64)
         predictions = np.asarray(predictions, dtype=np.float64)
-        q = codes - (self.radius + 1)
+        work = np.subtract(codes, self.radius + 1).astype(np.float64)
         with np.errstate(over="ignore", invalid="ignore"):
             # unpredictable positions (code 0 → q = -radius-1) may overflow
             # here; they are overwritten from the outlier list just below
-            values = predictions + 2.0 * abs_bound * q
+            np.multiply(work, 2.0 * abs_bound, out=work)
+            np.add(predictions, work, out=work)
         unpred = codes == 0
         n_unpred = int(unpred.sum())
         if n_unpred:
             if outliers.size < n_unpred:
                 raise ValueError("not enough outlier values to dequantize")
-            values = values.copy()
-            values[unpred] = outliers[:n_unpred]
-        return values
+            work[unpred] = outliers[:n_unpred]
+        return work
 
     # -- payload helpers -----------------------------------------------------
     @staticmethod

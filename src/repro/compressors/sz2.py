@@ -34,6 +34,7 @@ import struct
 import numpy as np
 
 from repro.compressors.base import ErrorBound, ErrorBoundMode, LossyCompressor
+from repro.compressors.codebook import entropy_encode
 from repro.compressors.huffman import DEFAULT_CHUNK_SYMBOLS, HuffmanCoder
 from repro.compressors.lossless import LosslessCodec, get_lossless
 from repro.compressors.predictors import (
@@ -82,7 +83,7 @@ class SZ2Compressor(LossyCompressor):
         prefix, codes, suffix = self._body_parts(data, abs_bound)
         if codes is None:
             return self.lossless.compress(b"".join(prefix + suffix))
-        huff = self.huffman.encode(codes)
+        huff = entropy_encode(self.huffman, codes, self._codebook)
         body = b"".join(prefix) + struct.pack("<Q", len(huff)) + huff + b"".join(suffix)
         return self.lossless.compress(body)
 

@@ -45,7 +45,7 @@ from dataclasses import dataclass, replace
 
 import numpy as np
 
-from repro.compressors.base import LossyCompressor
+from repro.compressors.base import ErrorBoundMode, LossyCompressor
 from repro.compressors.lossless import LosslessCodec, get_lossless
 from repro.compressors.registry import available_lossy, get_lossy
 from repro.core.config import FedSZConfig
@@ -126,16 +126,23 @@ def _check_tensor_names(state: dict) -> None:
             f"({', '.join(_RESERVED_KEYS)}, and the {_LOSSY_PREFIX!r} prefix); rename them")
 
 
-def _compress_tensor_task(task: "tuple[TensorPlan, np.ndarray, LossyCompressor]") -> bytes:
+def _compress_tensor_task(task: "tuple[TensorPlan, np.ndarray, LossyCompressor]"
+                          ) -> "tuple[bytes, tuple | None]":
     """Compress one tensor per its plan entry into a tagged payload.
 
     Module-level with an explicit ``(TensorPlan, ndarray, compressor)``
     argument struct so the per-tensor fan-out satisfies the process backend's
     picklability contract (compressor instances hold only plain configuration
     state and pickle cheaply; the bitstream bytes come back as the result).
+    Returns ``(payload, codebook_record)`` — the record is the armed codebook
+    channel's ``(decision, table)`` pair, read *inside* the worker so it
+    crosses a process boundary with the result instead of relying on
+    instance mutation the parent never sees.
     """
     plan, array, compressor = task
-    return _tag_payload(plan.codec, compressor.compress(array))
+    payload = _tag_payload(plan.codec, compressor.compress(array))
+    channel = compressor._codebook
+    return payload, (None if channel is None else channel.record)
 
 
 def _decompress_tensor_task(task: "tuple[str, bytes, LossyCompressor]") -> np.ndarray:
@@ -194,6 +201,12 @@ class FedSZReport:
     #: the manifest (decompress side); per-call like the rest of the report,
     #: so it is race-free where ``last_plan`` is a shared single slot
     plan: "CompressionPlan | None" = None
+    #: per-tensor warm-codebook records ``{store_key: (decision, table_bytes)}``
+    #: when a :class:`~repro.compressors.codebook.CodebookStore` was armed for
+    #: this encode; ``None`` otherwise.  Deterministic state the coordinator
+    #: commits back into the client's store — not a journaled statistic (the
+    #: journal persists the store itself in the delta sidecar).
+    codebooks: "dict[str, tuple[str, bytes | None]] | None" = None
 
     @property
     def ratio(self) -> float:
@@ -269,6 +282,24 @@ class FedSZCompressor:
         self.last_report: FedSZReport | None = None
         self.last_plan: CompressionPlan | None = None
         self._decoder_cache: dict[str, LossyCompressor] = {}
+        #: optional :class:`~repro.compressors.codebook.CodebookStore` armed
+        #: by the owner (the delta codec) for warm Huffman-table reuse; None
+        #: keeps every encode byte-identical to the cold path
+        self.codebook = None
+        #: set by the delta codec when the next encode compresses residual
+        #: tensors rather than raw state — content-profiling policies key
+        #: their caches on it so residual statistics never alias full-state
+        #: anchors (plans stay pure functions of the actual input)
+        self.delta_hint = False
+        #: per-tensor REL-bound resolution scales ``{name: value_range}`` set
+        #: by the delta codec for one encode.  A REL bound resolved against a
+        #: *residual* tensor's tiny range would silently tighten the
+        #: quantization step ~10x below what the user asked for (and forfeit
+        #: the delta size win); these scales pin the resolution to the true
+        #: state's range instead, so a residual ship carries exactly the
+        #: absolute tolerance a full-state ship of the same tensor would.
+        #: ``None`` (always, outside an armed delta encode) changes nothing.
+        self.bound_scales: "dict[str, float] | None" = None
 
     # ------------------------------------------------------------------
     def _pipeline_workers(self) -> int:
@@ -292,7 +323,8 @@ class FedSZCompressor:
     def plan_state_dict(self, state: dict[str, np.ndarray]) -> CompressionPlan:
         """The per-tensor plan the policy would apply to ``state``."""
         partition = partition_state_dict(state, self.config)
-        return self.policy.build_plan(partition.lossy, self._plan_config)
+        return self.policy.build_plan(partition.lossy, self._plan_config,
+                                      delta=self.delta_hint)
 
     def _compressor_for(self, plan: TensorPlan) -> LossyCompressor:
         """A lossy compressor configured exactly as ``plan`` prescribes.
@@ -310,6 +342,30 @@ class FedSZCompressor:
         kwargs.update(options)
         return get_lossy(plan.codec, error_bound=plan.error_bound, mode=plan.mode,
                          **kwargs)
+
+    def _armed_compressor_for(self, plan: TensorPlan, name: str) -> LossyCompressor:
+        """:meth:`_compressor_for`, plus a codebook channel when a store is armed.
+
+        Only entropy-coded codecs carry a Huffman table to reuse; the channel
+        is armed on a shallow per-tensor copy so the (possibly shared) base
+        instance never races across tensors.  With no store armed this is
+        exactly :meth:`_compressor_for` — the cold path is untouched.
+        """
+        compressor = self._compressor_for(plan)
+        if self.bound_scales is not None \
+                and ErrorBoundMode(plan.mode) is ErrorBoundMode.REL:
+            scale = self.bound_scales.get(name)
+            if scale is not None:
+                # resolve the plan's REL bound against the provided scale (the
+                # true state's range on a delta ship) rather than this
+                # tensor's own range; the payload header records the absolute
+                # bound actually used, so decode needs nothing extra
+                compressor = compressor.with_error_bound(
+                    float(plan.error_bound) * scale, ErrorBoundMode.ABS)
+        if self.codebook is not None and plan.codec in _ENTROPY_CODED:
+            channel = self.codebook.channel(f"{plan.codec}:{name}")
+            compressor = compressor.with_codebook(channel)
+        return compressor
 
     def _decoder_for(self, codec: str) -> LossyCompressor:
         """A decoder for ``codec`` (payloads are self-describing, so the
@@ -337,7 +393,8 @@ class FedSZCompressor:
         _check_tensor_names(state)
         start = time.perf_counter()
         partition = partition_state_dict(state, self.config)
-        plan = self.policy.build_plan(partition.lossy, self._plan_config)
+        plan = self.policy.build_plan(partition.lossy, self._plan_config,
+                                      delta=self.delta_hint)
         if plan.tensor_names != list(partition.lossy):
             # a third-party policy reordering or dropping tensors must fail
             # here, not as a confusing corruption error on every decode
@@ -347,13 +404,20 @@ class FedSZCompressor:
                 f"{list(partition.lossy)!r}; plans must cover every lossy "
                 f"tensor in partition order")
 
-        tasks = [(plan[name], array, self._compressor_for(plan[name]))
+        tasks = [(plan[name], array,
+                  self._armed_compressor_for(plan[name], name))
                  for name, array in partition.lossy.items()]
-        payloads = map_parallel(_compress_tensor_task, tasks,
-                                max_workers=self._pipeline_workers(),
-                                backend=self.config.backend)
+        results = map_parallel(_compress_tensor_task, tasks,
+                               max_workers=self._pipeline_workers(),
+                               backend=self.config.backend)
         lossy_payloads: "OrderedDict[str, bytes]" = OrderedDict(
-            zip(partition.lossy, payloads))
+            (name, payload) for name, (payload, _) in zip(partition.lossy, results))
+        codebooks = {}
+        for _, record in results:
+            if record is not None:
+                key, decision, table = record
+                codebooks[key] = (decision, table)
+        codebooks = codebooks or None
 
         lossless_raw = pack_arrays(dict(partition.lossless))
         lossless_payload = self.lossless.compress(lossless_raw)
@@ -374,6 +438,7 @@ class FedSZCompressor:
             lossless_compressed_bytes=len(lossless_payload),
             compress_seconds=elapsed,
             plan=plan,
+            codebooks=codebooks,
         )
         self.last_report = report
         self.last_plan = plan
@@ -601,7 +666,8 @@ class StreamingStateEncoder:
         _check_tensor_names(state)
         start = time.perf_counter()
         partition = partition_state_dict(state, pipeline.config)
-        plan = pipeline.policy.build_plan(partition.lossy, pipeline._plan_config)
+        plan = pipeline.policy.build_plan(partition.lossy, pipeline._plan_config,
+                                          delta=pipeline.delta_hint)
         if plan.tensor_names != list(partition.lossy):
             raise ValueError(
                 f"policy {type(pipeline.policy).__name__} returned a plan for "
@@ -624,13 +690,19 @@ class StreamingStateEncoder:
         yield piece
 
         lossy_compressed = 0
+        codebooks: "dict[str, tuple[str, bytes | None]]" = {}
         for name, array in partition.lossy.items():
             tensor_plan = plan[name]
-            encoder = pipeline._compressor_for(tensor_plan).stream_encoder()
+            compressor = pipeline._armed_compressor_for(tensor_plan, name)
+            encoder = compressor.stream_encoder()
             staged = [_tag_payload(tensor_plan.codec, b"")]
             staged.extend(encoder.chunks(array))
             self.peak_scratch_bytes = max(self.peak_scratch_bytes,
                                           encoder.scratch_bytes)
+            channel = compressor._codebook
+            if channel is not None and channel.record is not None:
+                key, decision, table = channel.record
+                codebooks[key] = (decision, table)
             payload_len = sum(len(p) for p in staged)
             lossy_compressed += payload_len
             piece = self._entry_header(f"lossy::{name}", payload_len) \
@@ -648,6 +720,7 @@ class StreamingStateEncoder:
             lossless_compressed_bytes=len(lossless_payload),
             compress_seconds=elapsed,
             plan=plan,
+            codebooks=codebooks or None,
         )
         pipeline.last_report = self.report
         pipeline.last_plan = plan

@@ -327,10 +327,16 @@ class CompressionPolicy(abc.ABC):
             if codec is not None:
                 _require_registered_codec(codec, f"override for {name!r}")
 
-    def _prepare(self, tensors: "Mapping[str, np.ndarray]", config) -> object:
+    def _prepare(self, tensors: "Mapping[str, np.ndarray]", config,
+                 delta: bool = False) -> object:
         """Whole-partition pre-pass; its result is handed to every
         :meth:`_plan_tensor` call.  Kept off ``self`` so one policy instance
-        can build plans from several round-engine threads at once."""
+        can build plans from several round-engine threads at once.
+
+        ``delta`` marks the tensors as cross-round residuals (the delta
+        codec's wire dicts) rather than raw state — content-profiling
+        policies separate the two populations; everyone else ignores it.
+        """
         return None
 
     def for_network(self, network) -> "CompressionPolicy":
@@ -348,12 +354,14 @@ class CompressionPolicy(abc.ABC):
                      context: object) -> TensorPlan:
         """The policy's decision for one tensor (before overrides)."""
 
-    def build_plan(self, tensors: "Mapping[str, np.ndarray]", config) -> CompressionPlan:
+    def build_plan(self, tensors: "Mapping[str, np.ndarray]", config,
+                   delta: bool = False) -> CompressionPlan:
         """Plan every tensor of the lossy partition, then apply overrides.
 
         Overrides naming tensors absent from the partition raise — a typo'd
         name silently shipping the tensor at the default plan would defeat
-        the override's purpose.
+        the override's purpose.  ``delta`` flags residual-tensor input (see
+        :meth:`_prepare`).
         """
         unmatched = sorted(set(self.overrides) - set(tensors))
         if unmatched:
@@ -361,7 +369,7 @@ class CompressionPolicy(abc.ABC):
                 f"plan overrides name tensors absent from the lossy partition: "
                 f"{unmatched}; lossy tensors: {sorted(tensors)}")
         tensors = OrderedDict((name, np.asarray(array)) for name, array in tensors.items())
-        context = self._prepare(tensors, config)
+        context = self._prepare(tensors, config, delta)
         entries: "OrderedDict[str, TensorPlan]" = OrderedDict()
         for name, array in tensors.items():
             plan = self._plan_tensor(name, array, config, context)
@@ -453,7 +461,8 @@ class SizeAdaptivePolicy(CompressionPolicy):
         base = self.base_bound if self.base_bound is not None else config.error_bound
         return AdaptiveBoundPolicy(base, min(self.min_bound, base), self.size_exponent)
 
-    def _prepare(self, tensors: "Mapping[str, np.ndarray]", config) -> object:
+    def _prepare(self, tensors: "Mapping[str, np.ndarray]", config,
+                 delta: bool = False) -> object:
         # bounds depend on the whole partition (relative tensor sizes)
         return self._bound_policy(config).bounds_for(tensors)
 

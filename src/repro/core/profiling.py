@@ -430,8 +430,9 @@ class CodecProfiler:
         self.cache_misses = 0
         self.cache_drifts = 0
         self._cache: dict[tuple, tuple[CandidateMeasurement, ...]] = {}
-        #: drift bookkeeping: (shape, dtype, sample size) -> the anchor's
-        #: exact fingerprint, and exact fingerprint -> its sample statistics
+        #: drift bookkeeping: (shape, dtype, sample size, delta) -> the
+        #: anchor's exact fingerprint, and exact fingerprint -> its sample
+        #: statistics
         self._anchors: dict[tuple, tuple] = {}
         self._stats: dict[tuple, dict] = {}
         self._lock = threading.Lock()
@@ -497,7 +498,7 @@ class CodecProfiler:
             for entry in payload["entries"]:
                 key = (tuple(int(d) for d in entry["shape"]),
                        str(entry["dtype"]), int(entry["sample_size"]),
-                       int(entry["crc32"]))
+                       int(entry["crc32"]), bool(entry.get("delta", False)))
                 measurements = tuple(
                     CandidateMeasurement(
                         codec=str(m["codec"]),
@@ -515,7 +516,7 @@ class CodecProfiler:
                 with self._lock:
                     self._cache[key] = measurements
                     self._stats[key] = stats
-                    self._anchors[key[:3]] = key
+                    self._anchors[self._anchor_bucket(key)] = key
         except (OSError, ValueError, KeyError, TypeError):
             return
 
@@ -533,10 +534,11 @@ class CodecProfiler:
                 stats = self._stats.get(key)
                 if measurements is None or stats is None:
                     continue
-                shape, dtype, sample_size, crc = key
+                shape, dtype, sample_size, crc, is_delta = key
                 entries.append({
                     "shape": list(shape), "dtype": dtype,
-                    "sample_size": sample_size, "crc32": crc, "stats": stats,
+                    "sample_size": sample_size, "crc32": crc,
+                    "delta": is_delta, "stats": stats,
                     "measurements": [{
                         "codec": m.codec, "error_bound": m.error_bound,
                         "mode": m.mode.value, "sample_bytes": m.sample_bytes,
@@ -571,13 +573,22 @@ class CodecProfiler:
         start = int(rng.integers(0, flat.size - limit + 1))
         return flat[start:start + limit]
 
-    def _fingerprint(self, array: np.ndarray, sample: np.ndarray) -> tuple:
+    def _fingerprint(self, array: np.ndarray, sample: np.ndarray,
+                     delta: bool = False) -> tuple:
         return (tuple(np.asarray(array).shape), str(sample.dtype),
-                int(sample.size), zlib.crc32(sample.tobytes()))
+                int(sample.size), zlib.crc32(sample.tobytes()), bool(delta))
+
+    @staticmethod
+    def _anchor_bucket(key: tuple) -> tuple:
+        """The drift-anchor bucket of a fingerprint: geometry plus the delta
+        flag, without the content CRC.  Residual tensors (delta codec wire
+        dicts) share shapes with full states but have entirely different
+        statistics — bucketing them together would thrash both anchors."""
+        return key[:3] + key[4:]
 
     def profile_tensors(self, tensors: "Mapping[str, np.ndarray]",
                         backend: "str | ExecutionBackend | None" = None,
-                        workers: int | None = None,
+                        workers: int | None = None, delta: bool = False,
                         ) -> "OrderedDict[str, TensorProfile]":
         """Profile every tensor, measuring only the fingerprints not yet cached.
 
@@ -587,7 +598,9 @@ class CodecProfiler:
         profiler's own dispatch configuration for this call (``None`` =
         inherit) — the hook the profiled policy uses to honour the pipeline
         config's execution knobs on a shared profiler.  Profiles are
-        identical whatever runs them.
+        identical whatever runs them.  ``delta`` folds into the fingerprint
+        (and drift-anchor bucket), keeping residual-tensor profiles disjoint
+        from full-state ones.
         """
         samples: "OrderedDict[str, np.ndarray]" = OrderedDict()
         keys: dict[str, tuple] = {}
@@ -597,7 +610,7 @@ class CodecProfiler:
             array = np.asarray(array)
             sample = self.sample(name, array)
             samples[name] = sample
-            keys[name] = key = self._fingerprint(array, sample)
+            keys[name] = key = self._fingerprint(array, sample, delta)
             with self._lock:
                 if key in self._cache or key in missing:
                     self.cache_hits += 1
@@ -607,7 +620,7 @@ class CodecProfiler:
                     missing[key] = sample
                     continue
                 stats = _sample_stats(sample)
-                anchor = self._anchors.get(key[:3])
+                anchor = self._anchors.get(self._anchor_bucket(key))
                 if anchor is not None and anchor in self._cache and \
                         not _drifted(self._stats[anchor], stats,
                                      self.drift_threshold):
@@ -639,7 +652,7 @@ class CodecProfiler:
                         # a freshly measured tensor becomes its geometry's
                         # drift anchor
                         self._stats[key] = pending_stats[key]
-                        self._anchors[key[:3]] = key
+                        self._anchors[self._anchor_bucket(key)] = key
             if self.profile_cache is not None:
                 self._save_cache_file()
 
@@ -799,7 +812,8 @@ class ProfiledPolicy(CompressionPolicy):
                          "estimated_ratio": measurement.ratio})
         return base
 
-    def _prepare(self, tensors: "Mapping[str, np.ndarray]", config) -> object:
+    def _prepare(self, tensors: "Mapping[str, np.ndarray]", config,
+                 delta: bool = False) -> object:
         # inherit the pipeline's execution knobs unless explicitly overridden,
         # so the config's one backend switch also steers profiling fan-out
         backend = self.backend if self.backend is not None \
@@ -807,7 +821,7 @@ class ProfiledPolicy(CompressionPolicy):
         workers = self.workers if self.workers is not None \
             else getattr(config, "pipeline_workers", None)
         profiles = self.profiler.profile_tensors(tensors, backend=backend,
-                                                 workers=workers)
+                                                 workers=workers, delta=delta)
         cap = self.max_bound if self.max_bound is not None else config.error_bound
         choices: dict[str, TensorPlan] = {}
         for name, profile in profiles.items():

@@ -46,6 +46,7 @@ from repro.fl.coordinator.residency import (discard_fleet, install_fleet,
                                             resident_client)
 from repro.fl.coordinator.scheduler import RoundScheduler, StalenessPolicy
 from repro.fl.coordinator.transport import ShipResult, ShipTask, Transport
+from repro.fl.delta import DeltaTracker, DeltaUpdateCodec
 from repro.utils.parallel import (ArenaHandle, ExecutionBackend,
                                   SharedMemoryArena, get_backend)
 
@@ -163,6 +164,9 @@ class _Shipment:
     num_samples: int
     late: bool = False
     replayed: bool = False
+    #: the delta tracker's journal sidecar for this ship (accumulator +
+    #: codebook tables); ``None`` without a delta codec or a journal
+    delta_sidecar: "bytes | None" = None
 
 
 @dataclass
@@ -240,6 +244,12 @@ class Coordinator:
         self.journal = journal
         self.persistent = bool(persistent)
         self._resident: "_ResidentFleet | None" = None
+        # cross-round delta state: one tracker over every delta-wrapped codec
+        # (None when the fleet ships plain updates — zero behavior change)
+        delta_codecs = {cid: codec
+                        for cid, codec in enumerate(self.client_codecs)
+                        if isinstance(codec, DeltaUpdateCodec)}
+        self._delta = DeltaTracker(delta_codecs) if delta_codecs else None
 
         self._run_started = False
         self._completed: "list[RoundRecord]" = []
@@ -264,16 +274,48 @@ class Coordinator:
                              f"match this run's seed {self.scheduler.seed}")
         self._completed = list(state.records)
         self._partial = state.partial
-        self._pending_late = [self._late_from_event(event)
-                              for event in state.pending_late]
+        if self._delta is not None:
+            # channels first: a failed late replay below must be able to
+            # overwrite the restored state with its invalidation
+            self._delta.restore(state.delta_state, self._read_sidecar)
+        self._pending_late = [
+            late for late in (self._late_from_event(event)
+                              for event in state.pending_late)
+            if late is not None]
         if state.snapshot_path is not None:
             snapshot = self.journal.load_snapshot(state.snapshot_path)
             self.server.model.load_state_dict(snapshot)
         self._run_started = True  # the journaled header already exists
 
-    def _late_from_event(self, event: ShippedEvent) -> _LateUpdate:
+    def _read_sidecar(self, path: str) -> "bytes | None":
+        """A journaled delta sidecar's bytes, or ``None`` when unreadable —
+        the tracker degrades the client to a full ship (``resume-loss``)."""
+        try:
+            return (self.journal.directory / path).read_bytes()
+        except OSError:
+            return None
+
+    def _late_from_event(self, event: ShippedEvent) -> "_LateUpdate | None":
         payload = self.journal.read_payload(event)
-        state = self.client_codecs[event.client_id].decode(payload)
+        codec = self.client_codecs[event.client_id]
+        if self._delta is not None and isinstance(codec, DeltaUpdateCodec):
+            # a journaled delta payload decodes only against the broadcast
+            # state of its origin round — rearm from that round's snapshot
+            try:
+                reference = self.journal.load_snapshot(
+                    self.journal.reference_snapshot(event.round_index))
+            except (OSError, ValueError):
+                # the snapshot is gone: this update can never be decoded
+                # against the right reference — drop it rather than guess
+                self._delta.invalidate(event.client_id, "replay-loss")
+                return None
+            codec.arm(reference, event.round_index, delta=False)
+            try:
+                state = codec.decode(payload)
+            finally:
+                codec.disarm()
+        else:
+            state = codec.decode(payload)
         return _LateUpdate(origin_round=event.round_index,
                            client_id=event.client_id, state=state,
                            num_samples=event.num_samples)
@@ -282,6 +324,13 @@ class Coordinator:
         """Rebuild a shipped update from the journal instead of re-running it."""
         payload = self.journal.read_payload(event)
         state = self.client_codecs[event.client_id].decode(payload)
+        if self._delta is not None:
+            try:
+                blob = self.journal.read_delta(event)
+            except OSError:
+                blob = None
+            self._delta.adopt_replayed(event.client_id, blob,
+                                       late=event.status == "late")
         result = ShipResult(client_id=event.client_id,
                             payload_bytes=event.payload_bytes,
                             raw_bytes=event.raw_bytes,
@@ -494,6 +543,13 @@ class Coordinator:
                                  train_loss=update.train_loss,
                                  num_samples=update.num_samples)
             shipments[cid] = shipment
+            if self._delta is not None:
+                # per-client channels are independent, so folding in arrival
+                # order is deterministic anyway; must run before the decoded
+                # state is released below
+                shipment.delta_sidecar = self._delta.complete_ship(
+                    cid, update.state, result.state, result.report,
+                    sidecar=self.journal is not None)
             if self.journal is not None:
                 # journaled at arrival — event order follows completion order,
                 # but replay keys events by client, so resume is unaffected
@@ -501,7 +557,8 @@ class Coordinator:
                                             shipment.train_seconds,
                                             shipment.train_loss,
                                             shipment.num_samples,
-                                            status="ontime")
+                                            status="ontime",
+                                            delta_sidecar=shipment.delta_sidecar)
             arrival.add(position[cid], result.state)
             # folded: the decoded update (and any journaled payload copy) is
             # not needed again — release before the next ship lands
@@ -553,6 +610,12 @@ class Coordinator:
             resumed = True
         if self.journal is not None:
             self.journal.begin_round(plan, resumed=resumed)
+        if self._delta is not None:
+            # arm every participant's codec against this round's broadcast
+            # (delta when the channel is warm, full otherwise) and invalidate
+            # dropped clients — before training, replay, and shipping
+            self._delta.begin_round(round_index, global_state, plan,
+                                    self._roster_signature())
 
         straggler_set = set(plan.stragglers)
         fresh_ids = [cid for cid in plan.participants if cid not in replayed]
@@ -607,6 +670,15 @@ class Coordinator:
                 shipment.late = (self.round_deadline_s is not None
                                  and result.transfer_seconds > self.round_deadline_s)
                 shipments[cid] = shipment
+                if self._delta is not None:
+                    if shipment.late:
+                        # the server never acknowledged this state — the
+                        # client's reference is gone until its next full ship
+                        self._delta.invalidate(cid, "late")
+                    else:
+                        shipment.delta_sidecar = self._delta.complete_ship(
+                            cid, update.state, result.state, result.report,
+                            sidecar=self.journal is not None)
 
             if self.journal is not None:
                 for cid in plan.participants:
@@ -616,7 +688,8 @@ class Coordinator:
                     self.journal.record_shipped(
                         round_index, shipment.result, shipment.train_seconds,
                         shipment.train_loss, shipment.num_samples,
-                        status="late" if shipment.late else "ontime")
+                        status="late" if shipment.late else "ontime",
+                        delta_sidecar=shipment.delta_sidecar)
 
             ontime = [cid for cid in plan.participants if not shipments[cid].late]
             late_ids = [cid for cid in plan.participants if shipments[cid].late]
@@ -637,6 +710,16 @@ class Coordinator:
             self._pending_late.append(_LateUpdate(
                 origin_round=round_index, client_id=cid,
                 state=shipment.result.state, num_samples=shipment.num_samples))
+
+        delta_clients: "list[int]" = []
+        delta_degrades: "dict[int, str]" = {}
+        codebook_cache = None
+        if self._delta is not None:
+            delta_clients, delta_degrades, codebook_cache = \
+                self._delta.round_summary()
+            # release the armed references/accumulators — parked codecs must
+            # not pin this round's broadcast state in memory
+            self._delta.disarm_all()
 
         ordered = [shipments[cid] for cid in plan.participants]
         train_times = [
@@ -685,6 +768,9 @@ class Coordinator:
             mean_encode_overlap_seconds=_mean(
                 [r.encode_overlap_seconds for r in streamed]) if streamed else None,
             peak_update_residency=peak_residency,
+            delta_clients=delta_clients,
+            delta_degrades=delta_degrades,
+            codebook_cache=codebook_cache,
         )
         if self.journal is not None:
             self.journal.complete_round(record, self.server.global_state())

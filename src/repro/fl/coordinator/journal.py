@@ -67,7 +67,7 @@ _RECORD_FIELDS = ("round_index", "accuracy", "mean_train_seconds",
                   "validation_seconds", "uncompressed_bytes",
                   "transmitted_bytes", "communication_seconds",
                   "client_losses", "participants", "dropped_clients",
-                  "straggler_clients", "late_clients")
+                  "straggler_clients", "late_clients", "delta_clients")
 
 
 @dataclass
@@ -88,6 +88,9 @@ class ShippedEvent:
     num_samples: int
     report_fields: "dict | None" = None
     plan_hex: "str | None" = None
+    #: relative path of the delta sidecar (accumulator + codebook tables)
+    #: written alongside the payload; ``None`` for non-delta codecs
+    delta_path: "str | None" = None
 
     def rebuild_report(self) -> "FedSZReport | None":
         """The shipped update's :class:`FedSZReport` (``None`` if it had none)."""
@@ -121,6 +124,11 @@ class JournalState:
     pending_late: "list[ShippedEvent]" = field(default_factory=list)
     #: snapshot to restore the global model from before resuming
     snapshot_path: "str | None" = None
+    #: per-client delta state entering the resume point, folded from completed
+    #: rounds: ``{client_id: {"sidecar": path | None, "degrade": reason |
+    #: None}}`` — the latest on-time ship's sidecar, or the reason the
+    #: reference was last invalidated (``None`` + no sidecar = never shipped)
+    delta_state: "dict[int, dict]" = field(default_factory=dict)
 
     @property
     def next_round_index(self) -> int:
@@ -189,13 +197,21 @@ class RoundJournal:
 
     def record_shipped(self, round_index: int, result: ShipResult,
                        train_seconds: float, train_loss: float,
-                       num_samples: int, status: str = "ontime") -> None:
+                       num_samples: int, status: str = "ontime",
+                       delta_sidecar: "bytes | None" = None) -> None:
         """Persist one shipped update: payload file first, then the event."""
         if result.payload is None:
             raise ValueError("journaling needs the encoded payload; ship with "
                              "keep_payload=True")
         relative = f"updates/round_{round_index:06d}_client_{result.client_id:04d}.bin"
         (self.directory / relative).write_bytes(result.payload)
+        delta_relative = None
+        if delta_sidecar is not None:
+            # sidecar file before the event, like the payload — the log line
+            # is the commit point for both
+            delta_relative = (f"updates/round_{round_index:06d}_client_"
+                              f"{result.client_id:04d}.delta")
+            (self.directory / delta_relative).write_bytes(delta_sidecar)
         report_fields = plan_hex = None
         if result.report is not None:
             report_fields = {name: getattr(result.report, name)
@@ -212,7 +228,7 @@ class RoundJournal:
                       "decode_seconds": result.decode_seconds,
                       "train_seconds": train_seconds, "train_loss": train_loss,
                       "num_samples": num_samples, "report": report_fields,
-                      "plan": plan_hex})
+                      "plan": plan_hex, "delta": delta_relative})
 
     def complete_round(self, record: RoundRecord,
                        global_state: "dict[str, np.ndarray]") -> None:
@@ -222,6 +238,8 @@ class RoundJournal:
         payload = {name: getattr(record, name) for name in _RECORD_FIELDS}
         payload["absorbed_clients"] = {str(cid): origin for cid, origin
                                        in record.absorbed_clients.items()}
+        payload["delta_degrades"] = {str(cid): reason for cid, reason
+                                     in record.delta_degrades.items()}
         self._append({"event": "round_complete", "round": record.round_index,
                       "record": payload, "snapshot": snapshot})
 
@@ -235,6 +253,21 @@ class RoundJournal:
     def read_payload(self, event: ShippedEvent) -> bytes:
         """The stored encoded payload of a journaled shipped update."""
         return (self.directory / event.payload_path).read_bytes()
+
+    def read_delta(self, event: ShippedEvent) -> "bytes | None":
+        """The stored delta sidecar of a journaled ship (``None`` if it had
+        none); raises :class:`OSError` when the referenced file is gone."""
+        if event.delta_path is None:
+            return None
+        return (self.directory / event.delta_path).read_bytes()
+
+    @staticmethod
+    def reference_snapshot(round_index: int) -> str:
+        """The snapshot holding the broadcast state of ``round_index`` — what
+        a delta update shipped in that round must be decoded against."""
+        if round_index == 0:
+            return "snapshots/initial.fsza"
+        return f"snapshots/round_{round_index - 1:06d}.fsza"
 
     def load(self) -> JournalState:
         """Parse the event log into a resumable :class:`JournalState`."""
@@ -290,7 +323,8 @@ class RoundJournal:
                     train_seconds=float(event["train_seconds"]),
                     train_loss=float(event["train_loss"]),
                     num_samples=int(event["num_samples"]),
-                    report_fields=event.get("report"), plan_hex=event.get("plan"))
+                    report_fields=event.get("report"), plan_hex=event.get("plan"),
+                    delta_path=event.get("delta"))
                 partial.shipped[shipped.client_id] = shipped
             elif kind == "round_complete":
                 if partial is None or int(event["round"]) != partial.plan.round_index:
@@ -299,7 +333,10 @@ class RoundJournal:
                 record_fields = dict(event["record"])
                 absorbed = {int(cid): int(origin) for cid, origin
                             in record_fields.pop("absorbed_clients", {}).items()}
-                record = RoundRecord(absorbed_clients=absorbed, **record_fields)
+                degrades = {int(cid): str(reason) for cid, reason
+                            in record_fields.pop("delta_degrades", {}).items()}
+                record = RoundRecord(absorbed_clients=absorbed,
+                                     delta_degrades=degrades, **record_fields)
                 for shipped in partial.shipped.values():
                     report = shipped.rebuild_report()
                     if report is not None:
@@ -313,6 +350,18 @@ class RoundJournal:
                 # an absorbed late update is consumed for good
                 state.pending_late = [e for e in state.pending_late
                                       if absorbed.get(e.client_id) != e.round_index]
+                # fold each client's delta state forward: an on-time ship
+                # pins its sidecar, a dropout/late loses the reference
+                for cid in record.dropped_clients:
+                    state.delta_state[cid] = {"sidecar": None,
+                                              "degrade": "dropout"}
+                for cid in record.late_clients:
+                    state.delta_state[cid] = {"sidecar": None, "degrade": "late"}
+                for cid in record.participants:
+                    shipped = partial.shipped.get(cid)
+                    state.delta_state[cid] = {
+                        "sidecar": shipped.delta_path if shipped else None,
+                        "degrade": None}
                 partial = None
             else:
                 raise ValueError(f"corrupt journal: unknown event kind {kind!r}")

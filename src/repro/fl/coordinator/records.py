@@ -78,6 +78,19 @@ class RoundRecord:
     #: when nothing was aggregated.  A measurement — excluded from replay and
     #: bit-identity checks
     peak_update_residency: "int | None" = None
+    #: ids of participants that shipped delta-framed residuals this round
+    #: (empty without a delta codec).  Deterministic — journaled and replayed
+    delta_clients: list[int] = field(default_factory=list)
+    #: participants that fell back to a full-state ship this round, mapped to
+    #: the degrade reason (``cold`` / ``dropout`` / ``late`` /
+    #: ``roster-change`` / ``resume-loss`` / ``replay-loss``).  Deterministic
+    #: — journaled and replayed
+    delta_degrades: dict[int, str] = field(default_factory=dict)
+    #: cumulative warm-codebook counters (reuses/drifts/misses) at the end of
+    #: this round, summed over the fleet's per-client stores; ``None`` without
+    #: a delta codec.  A measurement like ``profile_cache``: the counters
+    #: reset on journal resume, so replay and bit-identity checks ignore them
+    codebook_cache: "dict[str, int] | None" = None
 
     @property
     def compression_ratio(self) -> float:

@@ -33,6 +33,16 @@ live pool's workers cannot re-run initializers, so the coordinator deactivates
 residency instead and falls back to full-client tasks for the rest of the
 scope (see ``Coordinator.run_round``).  A stale reference always fails loudly
 via :class:`LookupError` rather than training an outdated client.
+
+Reference states (the delta codec's cross-round anchor) follow the same
+token/generation discipline through :func:`install_reference` /
+:func:`resident_reference`: the transport ships the round's broadcast state to
+pickling-backend workers through one shared-memory arena, and the first ship
+task each worker runs materializes it into this registry — every later ship
+of the round (and the same worker's next rounds, each replacing the last
+under the same token) resolves the reference locally instead of re-attaching
+the segment.  The generation is the reference's round index, so a task can
+never decode a residual against another round's state.
 """
 
 from __future__ import annotations
@@ -40,9 +50,12 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Mapping
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    import numpy as np
+
     from repro.fl.client import FLClient
 
-__all__ = ["install_fleet", "resident_client", "discard_fleet"]
+__all__ = ["install_fleet", "resident_client", "discard_fleet",
+           "install_reference", "resident_reference", "discard_reference"]
 
 #: token -> (generation, clients-by-id); one generation per token at a time,
 #: so re-installing under the same token frees the previous roster's memory
@@ -95,3 +108,43 @@ def discard_fleet(token: str) -> None:
     die with the pool itself.
     """
     _FLEETS.pop(token, None)
+
+
+#: token -> (generation, reference state); one generation per token at a time,
+#: so each round's install frees the previous round's resident copy
+_REFERENCES: "dict[str, tuple[int, dict[str, np.ndarray]]]" = {}
+
+
+def install_reference(token: str, generation: int,
+                      state: "Mapping[str, np.ndarray]") -> None:
+    """Make a delta reference state resident in this process.
+
+    Workers call this with the state materialized from the transport's shared
+    arena; installing the next generation under the same token replaces (and
+    frees) the previous round's copy, so worker memory stays one reference
+    per transport regardless of run length.
+    """
+    _REFERENCES[token] = (int(generation), dict(state))
+
+
+def resident_reference(token: str, generation: int) -> "dict[str, np.ndarray]":
+    """Resolve a resident reference, enforcing the generation tag.
+
+    Raises :class:`LookupError` for an unknown token or a stale generation —
+    the transport treats that as a cache miss and re-materializes from the
+    arena, and nothing can ever decode against another round's reference.
+    """
+    entry = _REFERENCES.get(token)
+    if entry is None:
+        raise LookupError(f"no resident reference {token!r} in this worker")
+    installed, state = entry
+    if installed != generation:
+        raise LookupError(
+            f"resident reference {token!r} is at generation {installed}, "
+            f"task expects {generation}")
+    return state
+
+
+def discard_reference(token: str) -> None:
+    """Drop a resident reference from this process's registry (idempotent)."""
+    _REFERENCES.pop(token, None)

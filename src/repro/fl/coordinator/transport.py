@@ -39,6 +39,8 @@ from __future__ import annotations
 import abc
 import asyncio
 import bisect
+import itertools
+import os
 import time
 from concurrent.futures import as_completed
 from dataclasses import dataclass, replace
@@ -47,6 +49,8 @@ import numpy as np
 
 from repro.core.network import NetworkModel
 from repro.fl.codec import UpdateCodec
+from repro.fl.coordinator.residency import (install_reference,
+                                            resident_reference)
 from repro.utils.parallel import (ArenaHandle, ExecutionBackend,
                                   SharedMemoryArena, get_backend)
 from repro.utils.serialization import packed_arrays_nbytes
@@ -60,6 +64,10 @@ from repro.core.pipeline import FedSZReport
 #: that a multi-chunk Huffman stream spans many packets, large enough that
 #: per-packet bookkeeping stays negligible against decode work
 DEFAULT_PACKET_BYTES = 64 * 1024
+
+#: distinguishes each transport's hoisted-reference registry token (ids can
+#: be reused by the allocator; a counter cannot)
+_REF_COUNTER = itertools.count()
 
 
 @dataclass
@@ -89,6 +97,15 @@ class ShipTask:
     #: arena segment — the worker attaches instead of unpickling the buffers
     #: (only used on backends with the ``pickles_arguments`` trait)
     state_handle: "ArenaHandle | None" = None
+    #: when set, ``codec`` is a delta codec pickled *without* its reference
+    #: state; the reference rides this shared arena (one segment per round,
+    #: not per task) and the worker re-attaches it before encode/decode
+    reference_handle: "ArenaHandle | None" = None
+    #: the ``(token, generation)`` key of the hoisted reference in the
+    #: worker-resident registry (see ``residency.install_reference``) — the
+    #: first task to run in a worker materializes the arena there, the rest
+    #: of the round resolves locally
+    reference_token: "tuple[str, int] | None" = None
 
 
 @dataclass
@@ -333,8 +350,29 @@ def ship_update_task(task: ShipTask) -> ShipResult:
     ``transfer_seconds``, plus the measured encode/transfer overlap (and the
     two compose: a producer-gated schedule feeds the stream decoder).  With
     ``task.state_handle`` the tensors are read from a shared-memory arena
-    instead of the (empty) pickled ``state``.
+    instead of the (empty) pickled ``state``; with ``task.reference_token``
+    the delta codec's reference state is resolved from the worker-resident
+    registry (materializing it from ``task.reference_handle`` on first use).
     """
+    if task.reference_token is not None:
+        token, generation = task.reference_token
+        try:
+            reference = resident_reference(token, generation)
+        except LookupError:
+            view = task.reference_handle.open()
+            try:
+                # own copies: the resident reference outlives the arena view
+                reference = {name: np.array(array)
+                             for name, array in view.arrays().items()}
+            finally:
+                try:
+                    view.close()
+                except BufferError:
+                    pass  # see the state_handle close note below
+            install_reference(token, generation, reference)
+        task.codec.attach_reference(reference)
+        return ship_update_task(replace(task, reference_handle=None,
+                                        reference_token=None))
     if task.state_handle is not None:
         view = task.state_handle.open()
         try:
@@ -458,6 +496,31 @@ class SimulatedTransport(Transport):
         self.streaming = bool(streaming)
         self.streaming_encode = bool(streaming_encode)
         self.packet_bytes = int(packet_bytes)
+        # stable registry token for hoisted delta references: workers key
+        # their resident copy on it, so each round's install replaces the last
+        self._ref_token = f"delta-ref-{os.getpid()}-{next(_REF_COUNTER)}"
+
+    def _hoist_reference(self, task: ShipTask, ref_map: dict,
+                         arenas: "list[SharedMemoryArena]") -> ShipTask:
+        """Strip a delta codec's reference into a shared arena (pickling path).
+
+        The reference state is identical across a round's tasks (the round's
+        broadcast), so one arena per distinct reference replaces ``n_clients``
+        pickled copies of the model.  Non-delta codecs pass through untouched.
+        """
+        reference = getattr(task.codec, "_reference", None)
+        if reference is None or not hasattr(task.codec, "detached"):
+            return task
+        key = id(reference)
+        if key not in ref_map:
+            arena = SharedMemoryArena(reference)
+            arenas.append(arena)
+            ref_map[key] = (arena.handle,
+                            (f"{self._ref_token}.{len(ref_map)}",
+                             int(task.codec._generation)))
+        handle, token = ref_map[key]
+        return replace(task, codec=task.codec.detached(),
+                       reference_handle=handle, reference_token=token)
 
     def _configure(self, task: ShipTask) -> ShipTask:
         """Stamp this transport's wire knobs onto a task (task wins if set)."""
@@ -480,9 +543,11 @@ class SimulatedTransport(Transport):
         # the transport owns the segments and destroys them once every
         # result (whose decoded state travels back by value) has returned
         arenas: "list[SharedMemoryArena]" = []
+        ref_map: dict = {}
         try:
             shipped = []
             for task in tasks:
+                task = self._hoist_reference(task, ref_map, arenas)
                 arena = SharedMemoryArena(task.state)
                 arenas.append(arena)
                 shipped.append(replace(task, state={}, state_handle=arena.handle))
@@ -509,11 +574,14 @@ class SimulatedTransport(Transport):
                 yield index, ship_update_task(task)
             return
         arenas: "dict[int, SharedMemoryArena]" = {}
+        ref_arenas: "list[SharedMemoryArena]" = []
+        ref_map: dict = {}
         with self.backend.executor(self.max_workers, n_items=len(tasks)) as pool:
             try:
                 indexed = {}
                 for index, task in enumerate(tasks):
                     if self.backend.pickles_arguments:
+                        task = self._hoist_reference(task, ref_map, ref_arenas)
                         arena = SharedMemoryArena(task.state)
                         arenas[index] = arena
                         task = replace(task, state={}, state_handle=arena.handle)
@@ -526,6 +594,10 @@ class SimulatedTransport(Transport):
                     yield index, future.result()
             finally:
                 for arena in arenas.values():
+                    arena.close()
+                # reference arenas are shared across tasks — destroyed only
+                # once every ship of the round has surfaced
+                for arena in ref_arenas:
                     arena.close()
 
     async def ship_async(self, task: ShipTask) -> ShipResult:

@@ -70,6 +70,18 @@ full-participation semantics, which the test suite pins bit-for-bit):
   client shards (train tasks ship O(model state), not O(dataset shard));
   ``False`` restores the historic fresh-pool-per-map path.  Bit-identical
   either way.
+* ``delta`` — wrap every client codec in the v5 error-feedback delta codec
+  (:class:`~repro.fl.delta.DeltaUpdateCodec`): from each client's second
+  consecutive participation onward it ships the residual against the
+  current broadcast state instead of the full state, with per-client error
+  feedback keeping the reconstruction inside the configured bound.  Clients
+  without a valid reference (first round, after a dropout or late ship,
+  after a roster change, after a lost resume sidecar) degrade to a
+  full-state frame — visible per round on ``RoundRecord.delta_degrades``.
+* ``delta_codebooks`` — with ``delta``, additionally reuse each tensor's
+  canonical Huffman code table across rounds while its symbol distribution
+  stays within the drift threshold (``False`` is the ablation: delta
+  framing and error feedback stay on, every encode builds fresh tables).
 
 ``seed=None`` now draws one fresh scenario seed and derives *everything*
 (partitioning, client seeds, scenario draws) from it, so even an unseeded run
@@ -78,6 +90,7 @@ is internally consistent — and reproducible after the fact when journaled.
 
 from __future__ import annotations
 
+import copy
 from typing import Sequence
 
 from repro.core.network import UPLINK_MODES, NetworkModel
@@ -96,6 +109,7 @@ from repro.fl.coordinator.scheduler import (RoundScheduler, StalenessPolicy,
 from repro.fl.coordinator.transport import (ShipResult, ShipTask,
                                             SimulatedTransport,
                                             ship_update_task)
+from repro.fl.delta import DeltaUpdateCodec
 from repro.fl.server import FedAvgServer
 from repro.nn.module import Module
 from repro.utils.parallel import ExecutionBackend, get_backend
@@ -108,6 +122,25 @@ __all__ = ["RoundRecord", "SimulationResult", "FederatedSimulation",
 _ShipTask = ShipTask
 _ShipResult = ShipResult
 _ship_update_task = ship_update_task
+
+
+def _delta_client_codec(codec: UpdateCodec, use_codebooks: bool) -> DeltaUpdateCodec:
+    """One client's delta wrapper around a *private* inner codec.
+
+    The delta codec arms per-ship state (reference, accumulator, codebook
+    channels) onto its inner compressor, so clients cannot share an inner
+    instance the way link-agnostic codecs otherwise do.  FedSZ inners keep
+    sharing the plan policy (and through it the profiler cache) — only the
+    compressor shell is per-client.
+    """
+    if isinstance(codec, FedSZUpdateCodec):
+        inner: UpdateCodec = FedSZUpdateCodec(codec.config,
+                                              policy=codec.compressor.policy)
+    elif isinstance(codec, RawUpdateCodec):
+        inner = RawUpdateCodec()
+    else:
+        inner = copy.deepcopy(codec)
+    return DeltaUpdateCodec(inner, use_codebooks=use_codebooks)
 
 
 class FederatedSimulation:
@@ -131,7 +164,8 @@ class FederatedSimulation:
                  max_staleness: int = 0, overlap: str = "pool",
                  streaming: bool = False, streaming_encode: bool = False,
                  aggregate_on_arrival: bool = False,
-                 persistent: bool = True) -> None:
+                 persistent: bool = True, delta: bool = False,
+                 delta_codebooks: bool = True) -> None:
         if max_workers is not None and max_workers < 1:
             raise ValueError("max_workers must be >= 1")
         self.backend = get_backend(backend)  # unknown names raise ValueError
@@ -172,6 +206,10 @@ class FederatedSimulation:
         # per-link plan policies for the bandwidth-aware ones
         self.client_codecs = [self.codec.for_network(net)
                               for net in self.client_networks]
+        self.delta = bool(delta)
+        if self.delta:
+            self.client_codecs = [_delta_client_codec(c, delta_codebooks)
+                                  for c in self.client_codecs]
 
         # durable rounds: open (or reopen) the journal before anything seeded
         # happens, because a resumed run takes its scenario seed from the
@@ -214,7 +252,8 @@ class FederatedSimulation:
         self.coordinator = Coordinator(
             clients=self.clients, server=self.server, scheduler=self.scheduler,
             transport=self.transport, client_codecs=self.client_codecs,
-            client_networks=self.client_networks, codec_name=self.codec.name,
+            client_networks=self.client_networks,
+            codec_name=f"delta+{self.codec.name}" if self.delta else self.codec.name,
             local_epochs=self.local_epochs,
             straggler_slowdown=self.straggler_slowdown, uplink=uplink,
             backend=self.backend, max_workers=max_workers, overlap=overlap,

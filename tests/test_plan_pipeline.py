@@ -419,8 +419,8 @@ class TestPipelineWorkers:
 
     def test_policy_reordering_or_dropping_tensors_fails_at_compress(self, small_state):
         class _Misbehaving(UniformPolicy):
-            def build_plan(self, tensors, config):
-                plan = super().build_plan(tensors, config)
+            def build_plan(self, tensors, config, delta=False):
+                plan = super().build_plan(tensors, config, delta=delta)
                 entries = OrderedDict(sorted(plan.entries.items(), reverse=True))
                 return CompressionPlan(entries)
 

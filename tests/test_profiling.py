@@ -428,9 +428,10 @@ class TestProfiledPolicy:
         seen = {}
         original = CodecProfiler.profile_tensors
 
-        def spy(self, tensors, backend=None, workers=None):
+        def spy(self, tensors, backend=None, workers=None, delta=False):
             seen["backend"], seen["workers"] = backend, workers
-            return original(self, tensors, backend=backend, workers=workers)
+            return original(self, tensors, backend=backend, workers=workers,
+                            delta=delta)
 
         monkeypatch.setattr(profiling_module.CodecProfiler, "profile_tensors", spy)
         config = FedSZConfig(backend="serial", pipeline_workers=3)

@@ -96,6 +96,27 @@ def test_quantizer_reconstruction_within_bound(data, bound):
     np.testing.assert_allclose(recon, result.reconstructed)
 
 
+@settings(max_examples=40, deadline=None)
+@given(data=float_arrays, bound=st.sampled_from([1e-4, 1e-2, 1.0]),
+       radius=st.sampled_from([4, 1024]))
+def test_dequantize_bit_identical_to_naive_reference(data, bound, radius):
+    # the scratch-buffer rewrite of dequantize must match the naive
+    # expression-per-temporary form bit for bit, outlier escapes included
+    # (a small radius with a tight bound forces plenty of code-0 escapes)
+    data64 = data.astype(np.float64)
+    predictions = np.roll(data64, 1)
+    quantizer = LinearQuantizer(radius=radius)
+    result = quantizer.quantize(data64, predictions, bound)
+    got = quantizer.dequantize(result.codes, result.outliers, predictions, bound)
+    q = result.codes.astype(np.int64) - (radius + 1)
+    with np.errstate(over="ignore", invalid="ignore"):
+        expected = predictions + 2.0 * bound * q.astype(np.float64)
+    unpred = result.codes == 0
+    expected[unpred] = result.outliers[: int(unpred.sum())]
+    np.testing.assert_array_equal(got, expected)
+    np.testing.assert_array_equal(got, result.reconstructed)
+
+
 @settings(max_examples=50, deadline=None)
 @given(entries=st.dictionaries(st.text(min_size=1, max_size=20), st.binary(max_size=200),
                                max_size=8))
